@@ -1,0 +1,164 @@
+(* The benchmark/reproduction harness.
+
+   Part 1 regenerates every experiment of DESIGN.md §4 (the paper's
+   theorem guarantees — its "tables and figures") at full size.
+
+   Part 2 runs Bechamel micro-benchmarks of the core operations whose
+   asymptotics Theorem 5 talks about: H-graph splices, whole-deletion
+   repairs, the eigensolvers used by the metrics, and the distributed
+   protocols.
+
+   Run with: dune exec bench/main.exe
+   (pass --quick for the reduced sizes, --skip-micro to omit part 2) *)
+
+module Gen = Xheal_graph.Generators
+module Graph = Xheal_graph.Graph
+module Spectral = Xheal_linalg.Spectral
+module Hgraph = Xheal_expander.Hgraph
+module Xheal = Xheal_core.Xheal
+module Election = Xheal_distributed.Election
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables.                                         *)
+
+let run_experiments ~quick =
+  print_endline "=====================================================";
+  print_endline " Xheal (PODC 2011) — experiment reproduction";
+  print_endline "=====================================================";
+  Printf.printf " mode: %s\n\n" (if quick then "quick" else "full");
+  let ok = Xheal_experiments.Registry.run_all ~quick ~out:print_string () in
+  Printf.printf "experiment claims: %s\n\n" (if ok then "ALL PASS" else "SOME FAILED");
+  ok
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks.                                 *)
+
+open Bechamel
+open Toolkit
+
+let bench_hgraph_splice () =
+  let rng = Random.State.make [| 1 |] in
+  let h = Hgraph.create ~rng ~d:2 (List.init 256 Fun.id) in
+  let next = ref 1000 in
+  Test.make ~name:"hgraph-splice(n=256,d=2)"
+    (Staged.stage (fun () ->
+         Hgraph.insert ~rng h !next;
+         Hgraph.delete h !next;
+         incr next))
+
+let bench_xheal_repair name n =
+  let rng = Random.State.make [| 2 |] in
+  let eng = Xheal.create ~rng (Gen.random_regular ~rng n 4) in
+  let next = ref (10 * n) in
+  let atk = Random.State.make [| 3 |] in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         (* Steady-state churn: one deletion (with repair) + one insertion
+            keeps the network size constant across iterations. *)
+         let g = Xheal.graph eng in
+         let nodes = Graph.nodes g in
+         let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+         let nbrs = List.filteri (fun i _ -> i < 3) (Graph.neighbors g v) in
+         Xheal.delete eng v;
+         let nbrs = List.filter (Graph.has_node (Xheal.graph eng)) nbrs in
+         Xheal.insert eng ~node:!next ~neighbors:nbrs;
+         incr next))
+
+let bench_lambda2_dense () =
+  let g = Gen.random_regular ~rng:(Random.State.make [| 4 |]) 96 4 in
+  Test.make ~name:"lambda2-dense-jacobi(n=96)" (Staged.stage (fun () -> ignore (Spectral.lambda2 g)))
+
+let bench_lambda2_lanczos () =
+  let g = Gen.random_regular ~rng:(Random.State.make [| 5 |]) 512 4 in
+  Test.make ~name:"lambda2-lanczos(n=512)" (Staged.stage (fun () -> ignore (Spectral.lambda2 g)))
+
+let bench_election () =
+  let rng = Random.State.make [| 6 |] in
+  let parts = List.init 64 Fun.id in
+  Test.make ~name:"election-protocol(m=64)" (Staged.stage (fun () -> ignore (Election.run ~rng parts)))
+
+let bench_batch_deletion () =
+  let rng = Random.State.make [| 8 |] in
+  let eng = Xheal.create ~rng (Gen.random_regular ~rng 256 4) in
+  let next = ref 10_000 in
+  let atk = Random.State.make [| 9 |] in
+  Test.make ~name:"xheal-batch-step(5 victims,n=256)"
+    (Staged.stage (fun () ->
+         let g = Xheal.graph eng in
+         let nodes = Graph.nodes g in
+         let victims =
+           List.filteri (fun i _ -> i < 5)
+             (List.sort (fun _ _ -> if Random.State.bool atk then 1 else -1) nodes)
+         in
+         Xheal.delete_many eng victims;
+         (* Refill to keep the size steady. *)
+         List.iter
+           (fun _ ->
+             let g = Xheal.graph eng in
+             let ns = Graph.nodes g in
+             let nbrs = List.filteri (fun i _ -> i < 3) ns in
+             Xheal.insert eng ~node:!next ~neighbors:nbrs;
+             incr next)
+           victims))
+
+let bench_routing_tables () =
+  let g = Gen.random_h_graph ~rng:(Random.State.make [| 10 |]) 128 2 in
+  Test.make ~name:"routing-tables-build(n=128)"
+    (Staged.stage (fun () -> ignore (Xheal_routing.Tables.build g)))
+
+let bench_exact_expansion () =
+  let g = Gen.random_h_graph ~rng:(Random.State.make [| 7 |]) 14 2 in
+  Test.make ~name:"exact-expansion(n=14)"
+    (Staged.stage (fun () -> ignore (Xheal_graph.Cuts.exact_expansion g)))
+
+let micro_tests () =
+  Test.make_grouped ~name:"xheal"
+    [
+      bench_hgraph_splice ();
+      bench_xheal_repair "xheal-churn-step(n=64)" 64;
+      bench_xheal_repair "xheal-churn-step(n=256)" 256;
+      bench_lambda2_dense ();
+      bench_lambda2_lanczos ();
+      bench_election ();
+      bench_exact_expansion ();
+      bench_batch_deletion ();
+      bench_routing_tables ();
+    ]
+
+let run_micro () =
+  print_endline "=====================================================";
+  print_endline " Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "=====================================================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      Printf.printf "\n  [%s]\n" measure;
+      let rows =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let est =
+              match Analyze.OLS.estimates ols_result with
+              | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
+              | _ -> "            n/a"
+            in
+            (name, est) :: acc)
+          per_test []
+      in
+      List.iter
+        (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
+        (List.sort compare rows))
+    merged;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  let ok = run_experiments ~quick in
+  if not skip_micro then run_micro ();
+  if not ok then exit 1

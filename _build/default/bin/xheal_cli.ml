@@ -1,0 +1,209 @@
+(* Command-line front-end: run experiments, run custom attacks, export
+   DOT snapshots. `xheal_cli --help` lists everything. *)
+
+module Graph = Xheal_graph.Graph
+module Generators = Xheal_graph.Generators
+module Traversal = Xheal_graph.Traversal
+module Dot = Xheal_graph.Dot
+module Healer = Xheal_core.Healer
+module Cost = Xheal_core.Cost
+module Driver = Xheal_adversary.Driver
+module Strategy = Xheal_adversary.Strategy
+module Expansion = Xheal_metrics.Expansion
+module Degree = Xheal_metrics.Degree
+module Stretch = Xheal_metrics.Stretch
+module Registry = Xheal_experiments.Registry
+
+open Cmdliner
+
+(* ---------- shared argument parsing ---------- *)
+
+let parse_shape s =
+  match String.split_on_char ':' s with
+  | [ "star"; n ] -> Ok (`Star (int_of_string n))
+  | [ "path"; n ] -> Ok (`Path (int_of_string n))
+  | [ "cycle"; n ] -> Ok (`Cycle (int_of_string n))
+  | [ "grid"; r; c ] -> Ok (`Grid (int_of_string r, int_of_string c))
+  | [ "regular"; n; d ] -> Ok (`Regular (int_of_string n, int_of_string d))
+  | [ "er"; n; p ] -> Ok (`Er (int_of_string n, float_of_string p))
+  | [ "hgraph"; n; d ] -> Ok (`Hgraph (int_of_string n, int_of_string d))
+  | [ "pa"; n; k ] -> Ok (`Pa (int_of_string n, int_of_string k))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown shape %S (try star:N, path:N, cycle:N, grid:R:C, regular:N:D, er:N:P, hgraph:N:D, pa:N:K)"
+           s))
+
+let build_shape ~rng = function
+  | `Star n -> Generators.star n
+  | `Path n -> Generators.path n
+  | `Cycle n -> Generators.cycle n
+  | `Grid (r, c) -> Generators.grid r c
+  | `Regular (n, d) -> Generators.random_regular ~rng n d
+  | `Er (n, p) -> Generators.connected_er ~rng n p
+  | `Hgraph (n, d) -> Generators.random_h_graph ~rng n d
+  | `Pa (n, k) -> Generators.preferential_attachment ~rng n k
+
+let shape_conv =
+  let printer ppf _ = Format.fprintf ppf "<shape>" in
+  Arg.conv (parse_shape, printer)
+
+let healer_labels () =
+  List.map (fun f -> f.Healer.label) (Xheal_baselines.Baselines.all ())
+
+let find_healer label =
+  if String.lowercase_ascii label = "xheal" then Some (Xheal_baselines.Baselines.xheal ())
+  else Xheal_baselines.Baselines.by_label label
+
+let strategy_of_name ~rng ~first_id = function
+  | "random" -> Ok (Strategy.random_delete ~rng ())
+  | "hub" -> Ok (Strategy.hub_delete ~rng ())
+  | "min-degree" -> Ok (Strategy.min_degree_delete ~rng ())
+  | "cutpoint" -> Ok (Strategy.cutpoint_delete ~rng ())
+  | "bottleneck" -> Ok (Strategy.bottleneck_delete ~rng ())
+  | "churn" -> Ok (Strategy.churn ~rng ~first_id ())
+  | "adaptive-churn" -> Ok (Strategy.adaptive_churn ~rng ~first_id ())
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+(* ---------- logging ---------- *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Engine debug logging on stderr.")
+
+(* ---------- experiments command ---------- *)
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Smaller instances (used by the test suite).")
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).") in
+  let run quick ids =
+    let ids = match ids with [] -> None | l -> Some l in
+    let ok = Registry.run_all ~quick ?ids ~out:print_string () in
+    if ok then `Ok () else `Error (false, "at least one experiment claim failed")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's guarantees (E1-E8, A1, A2).")
+    Term.(ret (const run $ quick $ ids))
+
+(* ---------- attack command ---------- *)
+
+let report_driver driver kappa =
+  let healed = Driver.graph driver and reference = Driver.gprime driver in
+  let hm = Expansion.measure healed and rm = Expansion.measure reference in
+  Format.printf "events: %d (deletions %d)@." (Driver.steps driver) (Driver.deletions driver);
+  Format.printf "healed : %a@." Expansion.pp hm;
+  Format.printf "G'     : %a@." Expansion.pp rm;
+  Format.printf "components: %d@." (Traversal.num_components healed);
+  let deg = Degree.report ~kappa ~healed ~reference in
+  Format.printf "degree : max ratio %.2f, slack %d (limit %d), ok %b@." deg.Degree.max_ratio
+    deg.Degree.max_additive_slack (2 * kappa) deg.Degree.bound_ok;
+  let st = Stretch.report ~healed ~reference () in
+  Format.printf "stretch: %.2f over %d pairs@." st.Stretch.max_stretch st.Stretch.pairs_checked;
+  let t = (Driver.healer driver).Healer.totals () in
+  Format.printf "cost   : %.1f msgs/del (A(p)=%.1f), worst %d rounds, %d combines@."
+    (Cost.amortized_messages t) (Cost.amortized_lower_bound t) t.Cost.max_rounds t.Cost.combines
+
+let attack_cmd =
+  let shape =
+    Arg.(value & opt shape_conv (`Er (64, 0.08)) & info [ "shape" ] ~docv:"SHAPE" ~doc:"Initial network (e.g. er:64:0.08, star:65, grid:8:8).")
+  in
+  let healer =
+    Arg.(value & opt string "xheal" & info [ "healer" ] ~docv:"HEALER" ~doc:"Healing strategy (see `list').")
+  in
+  let strategy =
+    Arg.(value & opt string "random" & info [ "strategy" ] ~docv:"STRAT" ~doc:"random | hub | min-degree | cutpoint | bottleneck | churn | adaptive-churn.")
+  in
+  let steps = Arg.(value & opt int 30 & info [ "steps" ] ~docv:"N" ~doc:"Number of adversarial events.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let dot_out =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write the healed graph as DOT.")
+  in
+  let run verbose shape healer strategy steps seed dot_out =
+    setup_logs verbose;
+    match find_healer healer with
+    | None ->
+      `Error (false, Printf.sprintf "unknown healer %S (known: %s)" healer (String.concat ", " (healer_labels ())))
+    | Some factory -> (
+      let rng = Random.State.make [| seed |] in
+      let initial = build_shape ~rng shape in
+      let atk = Random.State.make [| seed + 1 |] in
+      match strategy_of_name ~rng:atk ~first_id:(10 * Graph.num_nodes initial) strategy with
+      | Error e -> `Error (false, e)
+      | Ok strat ->
+        let driver = Driver.init factory ~rng initial in
+        ignore (Driver.run driver strat ~steps);
+        report_driver driver 4;
+        Option.iter (fun path -> Dot.write_file path (Driver.graph driver)) dot_out;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run one adversarial scenario against one healer and report the guarantees.")
+    Term.(ret (const run $ verbose_flag $ shape $ healer $ strategy $ steps $ seed $ dot_out))
+
+(* ---------- batch command ---------- *)
+
+let batch_cmd =
+  let shape =
+    Arg.(value & opt shape_conv (`Er (64, 0.08)) & info [ "shape" ] ~docv:"SHAPE" ~doc:"Initial network.")
+  in
+  let batch = Arg.(value & opt int 4 & info [ "batch" ] ~docv:"K" ~doc:"Victims per timestep.") in
+  let timesteps = Arg.(value & opt int 5 & info [ "timesteps" ] ~docv:"T" ~doc:"Number of batch deletions.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let run verbose shape batch timesteps seed =
+    setup_logs verbose;
+    let rng = Random.State.make [| seed |] in
+    let initial = build_shape ~rng shape in
+    let eng = Xheal_core.Xheal.create ~rng initial in
+    let atk = Random.State.make [| seed + 1 |] in
+    for step = 1 to timesteps do
+      let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
+      if List.length nodes > batch + 4 then begin
+        let victims =
+          List.filteri (fun i _ -> i < batch)
+            (List.sort (fun _ _ -> if Random.State.bool atk then 1 else -1) nodes)
+        in
+        Xheal_core.Xheal.delete_many eng victims;
+        let g = Xheal_core.Xheal.graph eng in
+        Format.printf "t=%d: deleted %d nodes -> n=%d m=%d clouds=%d connected=%b@." step
+          (List.length victims) (Graph.num_nodes g) (Graph.num_edges g)
+          (Xheal_core.Xheal.num_clouds eng)
+          (Traversal.is_connected g)
+      end
+    done;
+    let healed = Xheal_core.Xheal.graph eng in
+    let hm = Expansion.measure healed in
+    Format.printf "final: %a@." Expansion.pp hm;
+    match Xheal_core.Xheal.check eng with
+    | Ok () -> Format.printf "invariants: ok@."
+    | Error e -> Format.printf "invariants: BROKEN (%s)@." e
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Multi-deletion timesteps (the paper's batch extension) against Xheal.")
+    Term.(const run $ verbose_flag $ shape $ batch $ timesteps $ seed)
+
+(* ---------- list command ---------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "healers:";
+    List.iter (fun l -> print_endline ("  " ^ l)) (healer_labels ());
+    print_endline "strategies: random, hub, min-degree, cutpoint, bottleneck, churn, adaptive-churn";
+    print_endline "shapes: star:N path:N cycle:N grid:R:C regular:N:D er:N:P hgraph:N:D pa:N:K";
+    print_endline "experiments:";
+    List.iter
+      (fun e -> Printf.printf "  %-3s %s\n" e.Xheal_experiments.Exp.id e.Xheal_experiments.Exp.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List healers, strategies, shapes and experiments.") Term.(const run $ const ())
+
+let main =
+  let doc = "Xheal: localized self-healing using expanders (PODC 2011 reproduction)" in
+  Cmd.group (Cmd.info "xheal_cli" ~version:"1.0.0" ~doc) [ experiments_cmd; attack_cmd; batch_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

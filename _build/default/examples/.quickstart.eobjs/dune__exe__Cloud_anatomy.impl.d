@@ -1,0 +1,1 @@
+examples/cloud_anatomy.ml: Filename List Printf Random Xheal_core Xheal_graph

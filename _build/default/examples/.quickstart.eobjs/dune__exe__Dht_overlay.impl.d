@@ -1,0 +1,1 @@
+examples/dht_overlay.ml: Float List Option Printf Random Xheal_adversary Xheal_baselines Xheal_graph Xheal_metrics Xheal_routing

@@ -1,0 +1,1 @@
+examples/mesh_attack.ml: Filename List Printf Random Xheal_adversary Xheal_baselines Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+examples/p2p_churn.ml: List Random Xheal_adversary Xheal_baselines Xheal_graph Xheal_linalg Xheal_metrics

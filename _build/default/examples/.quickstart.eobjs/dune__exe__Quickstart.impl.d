@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Random Xheal_adversary Xheal_baselines Xheal_core Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+examples/star_catastrophe.ml: List Random Xheal_baselines Xheal_core Xheal_graph Xheal_metrics

@@ -1,0 +1,84 @@
+(* Anatomy of a healed network: drives the Xheal engine directly,
+   prints the cloud inventory after each repair (primary vs secondary
+   clouds, free vs bridge nodes), and exports a DOT file whose edge
+   colors show the paper's black / primary-red / secondary-orange
+   classification.
+
+   Run with: dune exec examples/cloud_anatomy.exe *)
+
+module Graph = Xheal_graph.Graph
+module Gen = Xheal_graph.Generators
+module Edge = Xheal_graph.Edge
+module Dot = Xheal_graph.Dot
+module Xheal = Xheal_core.Xheal
+module Cloud = Xheal_core.Cloud
+
+let describe eng tag =
+  Printf.printf "\n-- %s --\n" tag;
+  let g = Xheal.graph eng in
+  Printf.printf "network: %d nodes, %d edges; clouds: %d\n" (Graph.num_nodes g)
+    (Graph.num_edges g) (Xheal.num_clouds eng);
+  List.iter
+    (fun c ->
+      let members = Cloud.members c in
+      let frees = List.filter (Xheal.is_free eng) members in
+      Printf.printf "  cloud %d (%s, %s): %d members, %d free  leader=%s\n" (Cloud.id c)
+        (Cloud.kind_to_string (Cloud.kind c))
+        (match Cloud.structure_kind c with `Clique -> "clique" | `Expander -> "H-graph")
+        (List.length members) (List.length frees)
+        (match Cloud.leader c with Some l -> string_of_int l | None -> "-"))
+    (Xheal.clouds eng)
+
+let edge_attrs eng e =
+  let u = Edge.src e and v = Edge.dst e in
+  let black = Xheal.is_black_edge eng u v in
+  match (black, Xheal.edge_cloud_owners eng u v) with
+  | true, [] -> [ ("color", "black") ]
+  | _, owners ->
+    let secondary =
+      List.exists
+        (fun id ->
+          match Xheal.find_cloud eng id with
+          | Some c -> Cloud.kind c = Cloud.Secondary
+          | None -> false)
+        owners
+    in
+    let color = if secondary then "orange" else "red" in
+    if black then [ ("color", "black:" ^ color) ] else [ ("color", color) ]
+
+let node_attrs eng u =
+  if not (Xheal.is_free eng u) then [ ("shape", "doublecircle"); ("label", string_of_int u) ]
+  else [ ("label", string_of_int u) ]
+
+let () =
+  let rng = Random.State.make [| 31337 |] in
+  (* Two hubs sharing a relay node, as in the paper's Figure 3 setting. *)
+  let g = Graph.create () in
+  List.iter (fun l -> ignore (Graph.add_edge g 0 l)) [ 1; 2; 3; 4; 5 ];
+  List.iter (fun l -> ignore (Graph.add_edge g 10 l)) [ 11; 12; 13; 14; 15 ];
+  ignore (Graph.add_edge g 20 0);
+  ignore (Graph.add_edge g 20 10);
+  ignore (Graph.add_edge g 5 11);
+  let eng = Xheal.create ~rng g in
+  describe eng "initial (all edges black)";
+  Xheal.delete eng 0;
+  describe eng "after deleting hub 0 (Case 1: primary cloud)";
+  Xheal.delete eng 10;
+  describe eng "after deleting hub 10 (Case 1: second primary cloud)";
+  Xheal.delete eng 20;
+  describe eng "after deleting relay 20 (Case 2.1: secondary cloud stitches the primaries)";
+  (match Xheal.clouds eng |> List.find_opt (fun c -> Cloud.kind c = Cloud.Secondary) with
+  | Some s ->
+    let bridge = List.hd (Cloud.members s) in
+    Xheal.delete eng bridge;
+    describe eng
+      (Printf.sprintf "after deleting bridge %d (Case 2.2: bridge replacement)" bridge)
+  | None -> print_endline "no secondary cloud formed (unexpected)");
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "cloud_anatomy.dot" in
+  Dot.write_file path
+    ~node_attrs:(node_attrs eng)
+    ~edge_attrs:(edge_attrs eng)
+    (Xheal.graph eng);
+  Printf.printf "\nDOT with cloud colors written to %s\n" path;
+  print_endline "(black = adversarial edges, red = primary clouds, orange = secondary clouds,";
+  print_endline " doublecircle = bridge nodes carrying secondary-cloud duty)"

@@ -1,0 +1,59 @@
+(* P2P overlay under churn — the Skype-outage scenario from the paper's
+   introduction. A preferential-attachment overlay (heavy-tailed degrees,
+   like real P2P supernode topologies) suffers sustained churn plus
+   targeted supernode failures. We track connectivity and spectral health
+   over time for Xheal vs a Forgiving-Tree-shaped repair.
+
+   Run with: dune exec examples/p2p_churn.exe *)
+
+module Graph = Xheal_graph.Graph
+module Traversal = Xheal_graph.Traversal
+module Generators = Xheal_graph.Generators
+module Spectral = Xheal_linalg.Spectral
+module Driver = Xheal_adversary.Driver
+module Strategy = Xheal_adversary.Strategy
+module Table = Xheal_metrics.Table
+
+let sample driver =
+  let g = Driver.graph driver in
+  let s = Spectral.analyze g in
+  ( Graph.num_nodes g,
+    Traversal.num_components g,
+    s.Spectral.lambda2,
+    Graph.max_degree g )
+
+let run_overlay label factory =
+  let rng = Random.State.make [| 99 |] in
+  let overlay = Generators.preferential_attachment ~rng 80 3 in
+  let driver = Driver.init factory ~rng overlay in
+  let atk = Random.State.make [| 100 |] in
+  (* Sustained churn: joins and leaves, with a bias to killing supernodes
+     (an adversary taking out the highest-degree peers). *)
+  let churn = Strategy.adaptive_churn ~rng:atk ~insert_prob:0.45 ~attach:3 ~first_id:10_000 () in
+  let rows = ref [] in
+  let record epoch =
+    let n, comps, l2, maxdeg = sample driver in
+    rows :=
+      [ label; string_of_int epoch; string_of_int n; string_of_int comps;
+        Table.fmt_float l2; string_of_int maxdeg ]
+      :: !rows
+  in
+  record 0;
+  for epoch = 1 to 4 do
+    ignore (Driver.run driver churn ~steps:40);
+    record epoch
+  done;
+  List.rev !rows
+
+let () =
+  let rows =
+    run_overlay "xheal" (Xheal_baselines.Baselines.xheal ())
+    @ run_overlay "tree-heal" Xheal_baselines.Baselines.tree_heal
+  in
+  print_string
+    (Table.render
+       ~header:[ "healer"; "epoch(x40 events)"; "nodes"; "components"; "lambda2"; "max degree" ]
+       rows);
+  print_endline
+    "A healthy overlay keeps components=1 and lambda2 bounded away from 0 under churn;";
+  print_endline "tree-shaped repair lets the spectral gap decay as supernodes die."

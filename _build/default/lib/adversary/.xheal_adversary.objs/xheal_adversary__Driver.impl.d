@@ -1,0 +1,1 @@
+lib/adversary/driver.ml: Event List Strategy Xheal_core Xheal_graph

@@ -1,0 +1,1 @@
+lib/adversary/driver.mli: Event Random Strategy Xheal_core Xheal_graph

@@ -1,0 +1,1 @@
+lib/adversary/event.mli: Format

@@ -1,0 +1,1 @@
+lib/adversary/strategy.ml: Array Event Hashtbl Int List Option Printf Random Xheal_graph Xheal_linalg

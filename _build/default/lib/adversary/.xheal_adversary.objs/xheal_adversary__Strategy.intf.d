@@ -1,0 +1,1 @@
+lib/adversary/strategy.mli: Event Random Xheal_graph

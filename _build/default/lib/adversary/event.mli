@@ -1,0 +1,12 @@
+(** The adversary's moves (Figure 1 of the paper): one node insertion
+    with chosen attachment edges, or one node deletion, per timestep. *)
+
+type t =
+  | Insert of { node : int; neighbors : int list }
+  | Delete of int
+
+val is_delete : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

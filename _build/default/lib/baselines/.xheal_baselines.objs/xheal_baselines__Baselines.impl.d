@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array List Xheal_core Xheal_graph

@@ -1,0 +1,1 @@
+lib/core/cloud.ml: Format List Xheal_expander Xheal_graph

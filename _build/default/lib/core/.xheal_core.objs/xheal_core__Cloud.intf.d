@@ -1,0 +1,1 @@
+lib/core/cloud.mli: Random Xheal_graph

@@ -1,0 +1,1 @@
+lib/core/healer.ml: Cost List Random Xheal_graph

@@ -1,0 +1,1 @@
+lib/core/healer.mli: Cost Random Xheal_graph

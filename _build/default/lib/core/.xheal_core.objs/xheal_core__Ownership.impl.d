@@ -1,0 +1,1 @@
+lib/core/ownership.ml: Format Hashtbl Int List Xheal_graph

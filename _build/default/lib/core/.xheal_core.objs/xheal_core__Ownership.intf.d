@@ -1,0 +1,1 @@
+lib/core/ownership.mli: Xheal_graph

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Cloud Format Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/core/xheal.ml: Cloud Config Cost Hashtbl Healer Int List Logs Matching Op Option Ownership Printf Random Registry Result String Unionfind Xheal_graph

@@ -1,0 +1,1 @@
+lib/core/xheal.mli: Cloud Config Cost Healer Op Random Xheal_graph

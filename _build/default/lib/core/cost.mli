@@ -1,0 +1,81 @@
+(** Repair-cost accounting in the paper's complexity model (Section 5):
+    synchronous rounds and message counts per recovery phase. The
+    per-phase formulas follow the proof of Theorem 5; the distributed
+    simulator in [xheal_distributed] independently measures the same
+    quantities by actually running the protocols. *)
+
+type case =
+  | Case1
+  | Case21
+  | Case22
+  | Batch of int  (** Multi-deletion of the given number of victims. *)
+  | Insertion
+
+val case_to_string : case -> string
+
+type phase = { label : string; rounds : int; messages : int }
+
+type report = {
+  seq : int;  (** 1-based index of the deletion in the attack sequence. *)
+  case : case;
+  phases : phase list;  (** In execution order. *)
+  rounds : int;  (** Sum of phase rounds. *)
+  messages : int;
+  combined : bool;  (** Whether the costly combine operation fired. *)
+  edges_added : int;
+  edges_removed : int;
+  clouds_touched : int;
+}
+
+val empty_report : seq:int -> case -> report
+
+val add_phase : report -> label:string -> rounds:int -> messages:int -> report
+
+type totals = {
+  deletions : int;
+  insertions : int;
+  total_rounds : int;
+  total_messages : int;
+  max_rounds : int;
+  combines : int;
+  total_edges_added : int;
+  total_edges_removed : int;
+  black_degree_deleted : int;
+      (** Sum over deletions of the deleted node's degree in [G'] — the
+          denominator of Lemma 5's amortized lower bound [A(p)]. *)
+}
+
+val zero_totals : totals
+
+val accumulate : totals -> report -> black_degree:int -> totals
+
+val amortized_messages : totals -> float
+(** Messages per deletion. *)
+
+val amortized_lower_bound : totals -> float
+(** Lemma 5's [A(p)]: average deleted black-degree. *)
+
+val overhead_ratio : totals -> float
+(** [amortized_messages / amortized_lower_bound]; Theorem 5 predicts
+    [O(κ log n)]. *)
+
+(** {1 Phase formulas (Theorem 5 proof)} *)
+
+val elect : int -> int * int
+(** [(rounds, messages)] for electing a leader among [k] known nodes. *)
+
+val distribute : kappa:int -> int -> int * int
+(** Leader locally builds a κ-regular H-graph over [z] nodes and informs
+    every node of its incident edges. *)
+
+val splice : kappa:int -> int * int
+(** One H-graph DELETE/INSERT splice. *)
+
+val find_free : int -> int * int
+(** Querying [j] cloud leaders for free nodes. *)
+
+val leader_replace : int -> int * int
+(** Vice-leader promotes itself and informs a cloud of [z] nodes. *)
+
+val combine : kappa:int -> int -> int * int
+(** Merging clouds totalling [s] members: BFS tree + collect + broadcast. *)

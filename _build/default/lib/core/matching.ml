@@ -1,0 +1,60 @@
+let maximum ~left ~candidates =
+  let match_of_value = Hashtbl.create 16 in
+  (* value -> left element *)
+  let result = Hashtbl.create 16 in
+  let rec augment seen l =
+    List.exists
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.replace seen v ();
+          match Hashtbl.find_opt match_of_value v with
+          | None ->
+            Hashtbl.replace match_of_value v l;
+            true
+          | Some l' ->
+            if augment seen l' then begin
+              Hashtbl.replace match_of_value v l;
+              true
+            end
+            else false
+        end)
+      (candidates l)
+  in
+  Array.iter (fun l -> ignore (augment (Hashtbl.create 16) l)) left;
+  Hashtbl.iter (fun v l -> Hashtbl.replace result l v) match_of_value;
+  result
+
+let assign_bridges ~units =
+  let ids = Array.of_list (List.map fst units) in
+  let cand_tbl = Hashtbl.create 16 in
+  List.iter (fun (id, frees) -> Hashtbl.replace cand_tbl id frees) units;
+  let all_free = Hashtbl.create 16 in
+  List.iter (fun (_, frees) -> List.iter (fun f -> Hashtbl.replace all_free f ()) frees) units;
+  if Hashtbl.length all_free < Array.length ids then None
+  else begin
+    let matched = maximum ~left:ids ~candidates:(fun id -> Hashtbl.find cand_tbl id) in
+    let used = Hashtbl.create 16 in
+    Hashtbl.iter (fun _ v -> Hashtbl.replace used v ()) matched;
+    let leftovers =
+      Hashtbl.fold (fun f () acc -> if Hashtbl.mem used f then acc else f :: acc) all_free []
+    in
+    let leftovers = ref (List.sort Int.compare leftovers) in
+    let take () =
+      match !leftovers with
+      | [] -> None
+      | f :: rest ->
+        leftovers := rest;
+        Some f
+    in
+    let assignment =
+      List.map
+        (fun (id, _) ->
+          match Hashtbl.find_opt matched id with
+          | Some f -> Some (id, f)
+          | None -> ( match take () with Some f -> Some (id, f) | None -> None))
+        units
+    in
+    if List.for_all Option.is_some assignment then Some (List.map Option.get assignment)
+    else None
+  end

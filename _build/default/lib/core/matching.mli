@@ -1,0 +1,24 @@
+(** Maximum bipartite matching (Kuhn's augmenting paths), used to assign
+    to each affected cloud a *distinct* free node of its own before
+    falling back to the paper's free-node sharing. *)
+
+val maximum :
+  left:int array ->
+  candidates:(int -> int list) ->
+  (int, int) Hashtbl.t
+(** [maximum ~left ~candidates] matches elements of [left] to candidate
+    values. Returns the matching as a [left element -> value] table of
+    maximum cardinality. Candidate lists may share values; each value is
+    used at most once. *)
+
+val assign_bridges :
+  units:(int * int list) list ->
+  (int * int) list option
+(** The free-node assignment of Algorithm 3.4/3.6: [units] pairs each
+    cloud id with its list of free member nodes. Returns
+    [Some assignment] mapping every cloud id to a distinct free node —
+    preferring own members via maximum matching, then *sharing* leftover
+    free nodes from other clouds (the shared node must later join the
+    deficient cloud). Returns [None] when the number of distinct free
+    nodes across all units is smaller than the number of units, i.e. the
+    paper's combine condition. The assignment preserves unit order. *)

@@ -1,0 +1,20 @@
+type t =
+  | Primary_build of { members : int list }
+  | Secondary_build of { bridges : int list }
+  | Splice of { cloud_size : int }
+  | Combine of { clouds : (int list * (int * int) list) list }
+
+let size = function
+  | Primary_build { members } -> List.length members
+  | Secondary_build { bridges } -> List.length bridges
+  | Splice { cloud_size } -> cloud_size
+  | Combine { clouds } ->
+    List.length (List.sort_uniq Int.compare (List.concat_map fst clouds))
+
+let pp ppf = function
+  | Primary_build { members } -> Format.fprintf ppf "primary-build(%d)" (List.length members)
+  | Secondary_build { bridges } -> Format.fprintf ppf "secondary-build(%d)" (List.length bridges)
+  | Splice { cloud_size } -> Format.fprintf ppf "splice(%d)" cloud_size
+  | Combine { clouds } ->
+    Format.fprintf ppf "combine(%d clouds, %d nodes)" (List.length clouds)
+      (size (Combine { clouds }))

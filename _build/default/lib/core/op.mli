@@ -1,0 +1,24 @@
+(** Repair-operation descriptors. The engine records, for every repair,
+    the concrete operations it performed together with their sizes;
+    [Xheal_distributed.Replay] re-executes them as actual protocols on
+    the synchronous simulator, turning the engine's closed-form cost
+    accounting into measured rounds/messages for real deletions. *)
+
+type t =
+  | Primary_build of { members : int list }
+      (** Case-1 style: elect a leader among the members (NoN-known) and
+          build a cloud over them. *)
+  | Secondary_build of { bridges : int list }
+      (** Stitch: elect among the chosen bridge nodes and build the
+          secondary cloud. *)
+  | Splice of { cloud_size : int }
+      (** One H-graph INSERT/DELETE splice inside an existing cloud. *)
+  | Combine of { clouds : (int list * (int * int) list) list }
+      (** Merge: per absorbed cloud, its members and its edge set at
+          merge time (the topology the BFS-echo address collection runs
+          over). *)
+
+val pp : Format.formatter -> t -> unit
+
+val size : t -> int
+(** Number of nodes the operation touches. *)

@@ -1,0 +1,58 @@
+type 'a t = {
+  parent : ('a, 'a) Hashtbl.t;
+  size : ('a, int) Hashtbl.t;
+  mutable order : 'a list; (* reverse insertion order of first appearances *)
+}
+
+let create () = { parent = Hashtbl.create 16; size = Hashtbl.create 16; order = [] }
+
+let ensure t x =
+  if not (Hashtbl.mem t.parent x) then begin
+    Hashtbl.replace t.parent x x;
+    Hashtbl.replace t.size x 1;
+    t.order <- x :: t.order
+  end
+
+let rec find_root t x =
+  let p = Hashtbl.find t.parent x in
+  if p = x then x
+  else begin
+    let root = find_root t p in
+    Hashtbl.replace t.parent x root;
+    root
+  end
+
+let find t x =
+  ensure t x;
+  find_root t x
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then begin
+    let sx = Hashtbl.find t.size rx and sy = Hashtbl.find t.size ry in
+    let big, small = if sx >= sy then (rx, ry) else (ry, rx) in
+    Hashtbl.replace t.parent small big;
+    Hashtbl.replace t.size big (sx + sy)
+  end
+
+let same t x y = find t x = find t y
+
+let groups t =
+  let by_root = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let r = find_root t x in
+      Hashtbl.replace by_root r (x :: Option.value ~default:[] (Hashtbl.find_opt by_root r)))
+    t.order (* t.order is reverse insertion order, so members come out in order *);
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc x ->
+      let r = find_root t x in
+      if Hashtbl.mem seen r then acc
+      else begin
+        Hashtbl.replace seen r ();
+        Hashtbl.find by_root r :: acc
+      end)
+    []
+    (List.rev t.order)
+  |> List.rev

@@ -1,0 +1,19 @@
+(** Disjoint sets over arbitrary hashable keys (path compression +
+    union by size). Used to group the damage of a multi-node deletion
+    into independently repairable regions. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val union : 'a t -> 'a -> 'a -> unit
+(** Merges the classes of the two keys (inserting unseen keys). *)
+
+val find : 'a t -> 'a -> 'a
+(** Canonical representative (a key is its own class if never unioned). *)
+
+val same : 'a t -> 'a -> 'a -> bool
+
+val groups : 'a t -> 'a list list
+(** All classes with at least one recorded key; members in insertion
+    order within each class, classes ordered by first appearance. *)

@@ -1,0 +1,577 @@
+module Graph = Xheal_graph.Graph
+module Edge = Xheal_graph.Edge
+
+let log_src = Logs.Src.create "xheal.engine" ~doc:"Xheal repair engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  cfg : Config.t;
+  rng : Random.State.t;
+  own : Ownership.t;
+  reg : Registry.t;
+  fwd : (int, int) Hashtbl.t; (* dissolved-by-combine cloud -> successor *)
+  mutable totals : Cost.totals;
+  mutable last : Cost.report option;
+  mutable last_ops : Op.t list;
+  mutable seq : int;
+}
+
+let cfg t = t.cfg
+
+let kappa t = Config.kappa t.cfg
+
+let graph t = Ownership.graph t.own
+
+let totals t = t.totals
+
+let last_report t = t.last
+
+let last_ops t = t.last_ops
+
+let black_degree t u = Ownership.black_degree t.own u
+
+let clouds t = Registry.clouds t.reg
+
+let num_clouds t = Registry.num_clouds t.reg
+
+let is_free t u = Registry.is_free t.reg u
+
+let is_black_edge t u v = Ownership.is_black t.own u v
+
+let edge_cloud_owners t u v = Ownership.cloud_owners t.own u v
+
+let find_cloud t id = Registry.find t.reg id
+
+let clouds_of_node t u = Registry.clouds_of t.reg u
+
+let create ?(cfg = Config.default) ~rng g =
+  (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Xheal.create: " ^ e));
+  {
+    cfg;
+    rng;
+    own = Ownership.of_black_graph g;
+    reg = Registry.create ();
+    fwd = Hashtbl.create 16;
+    totals = Cost.zero_totals;
+    last = None;
+    last_ops = [];
+    seq = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-repair mutable context: the cost report under construction.    *)
+
+type ctx = { mutable report : Cost.report; mutable ops : Op.t list (* reversed *) }
+
+let charge ctx label (rounds, messages) =
+  ctx.report <- Cost.add_phase ctx.report ~label ~rounds ~messages
+
+let note_edges ctx ~added ~removed =
+  ctx.report <-
+    {
+      ctx.report with
+      edges_added = ctx.report.Cost.edges_added + added;
+      edges_removed = ctx.report.Cost.edges_removed + removed;
+    }
+
+let touch ctx = ctx.report <- { ctx.report with Cost.clouds_touched = ctx.report.Cost.clouds_touched + 1 }
+
+let mark_combined ctx = ctx.report <- { ctx.report with Cost.combined = true }
+
+let record ctx op = ctx.ops <- op :: ctx.ops
+
+(* ------------------------------------------------------------------ *)
+(* Cloud/network reconciliation.                                      *)
+
+(* Push a cloud's desired edge set to the network, diffing against what
+   it last pushed. *)
+let sync t ctx c =
+  let desired = Cloud.desired_edges c in
+  let cur = Cloud.current c in
+  let removed = Edge.Set.diff cur desired and added = Edge.Set.diff desired cur in
+  let id = Cloud.id c in
+  Edge.Set.iter (fun e -> Ownership.remove_cloud_edge t.own ~cloud:id (Edge.src e) (Edge.dst e)) removed;
+  Edge.Set.iter (fun e -> Ownership.add_cloud_edge t.own ~cloud:id (Edge.src e) (Edge.dst e)) added;
+  Cloud.set_current c desired;
+  note_edges ctx ~added:(Edge.Set.cardinal added) ~removed:(Edge.Set.cardinal removed)
+
+let make_cloud ?(record_op = true) t ctx kind members =
+  let id = Registry.fresh_id t.reg in
+  let c = Cloud.make ~rng:t.rng ~id ~kind ~d:t.cfg.Config.d ~half_rebuild:t.cfg.Config.half_rebuild members in
+  Registry.add_cloud t.reg c;
+  sync t ctx c;
+  touch ctx;
+  if record_op && List.length members >= 2 then
+    record ctx
+      (match kind with
+      | Cloud.Primary -> Op.Primary_build { members }
+      | Cloud.Secondary -> Op.Secondary_build { bridges = members });
+  c
+
+(* Remove a cloud entirely: its edges lose this owner, its secondary
+   links (if any) are cleared. Bridge duties of *members into other
+   secondaries* are untouched. *)
+let dissolve t ctx c =
+  let id = Cloud.id c in
+  Edge.Set.iter
+    (fun e -> Ownership.remove_cloud_edge t.own ~cloud:id (Edge.src e) (Edge.dst e))
+    (Cloud.current c);
+  note_edges ctx ~added:0 ~removed:(Edge.Set.cardinal (Cloud.current c));
+  Cloud.set_current c Edge.Set.empty;
+  if Cloud.kind c = Cloud.Secondary then Registry.unlink_all t.reg ~secondary:id;
+  Registry.remove_cloud t.reg id
+
+let alive t c = Registry.find t.reg (Cloud.id c) <> None
+
+(* A node joins an existing cloud (H-graph INSERT / clique growth). *)
+let join t ctx c u =
+  Cloud.add_member ~rng:t.rng c u;
+  Registry.note_membership t.reg ~node:u ~cloud:(Cloud.id c);
+  sync t ctx c;
+  charge ctx "join" (Cost.splice ~kappa:(kappa t));
+  record ctx (Op.Splice { cloud_size = Cloud.size c })
+
+(* ------------------------------------------------------------------ *)
+(* Deletion repair steps.                                             *)
+
+(* The adversary removed [v]; splice it out of one cloud it belonged to. *)
+let fix_cloud_after_loss t ctx v c =
+  Cloud.purge_node_from_current c v;
+  let was_leader = Cloud.remove_member ~rng:t.rng c v in
+  touch ctx;
+  if Cloud.size c = 0 then dissolve t ctx c
+  else begin
+    sync t ctx c;
+    charge ctx "fix-cloud" (Cost.splice ~kappa:(kappa t));
+    record ctx (Op.Splice { cloud_size = Cloud.size c });
+    if was_leader then charge ctx "leader-handoff" (Cost.leader_replace (Cloud.size c))
+  end
+
+(* After a combine produced primary [d_id], dissolve secondary clouds
+   that now connect the combined cloud only to itself. *)
+let prune_redundant_secondaries t ctx d_id =
+  List.iter
+    (fun c ->
+      if Cloud.kind c = Cloud.Secondary then begin
+        let recs = Registry.bridges_of_secondary t.reg (Cloud.id c) in
+        if recs <> [] && List.for_all (fun (_, p) -> p = d_id) recs then dissolve t ctx c
+      end)
+    (Registry.clouds t.reg)
+
+(* Combine a list of primary clouds (and their members) into a single
+   fresh primary cloud — the paper's amortized expensive operation. *)
+let combine_primaries t ctx prims =
+  mark_combined ctx;
+  Log.info (fun m ->
+      m "combining %d clouds (%d members total)" (List.length prims)
+        (List.fold_left (fun acc c -> acc + Cloud.size c) 0 prims));
+  let snapshots =
+    List.map
+      (fun c ->
+        (Cloud.members c, List.map Edge.endpoints (Edge.Set.elements (Cloud.current c))))
+      prims
+  in
+  record ctx (Op.Combine { clouds = snapshots });
+  let members = Hashtbl.create 64 in
+  List.iter (fun c -> Cloud.iter_members c (fun u -> Hashtbl.replace members u ())) prims;
+  let member_list = List.sort Int.compare (Hashtbl.fold (fun u () acc -> u :: acc) members []) in
+  let d = make_cloud ~record_op:false t ctx Cloud.Primary member_list in
+  List.iter
+    (fun c ->
+      Registry.retarget_primary t.reg ~old_primary:(Cloud.id c) ~new_primary:(Cloud.id d);
+      Hashtbl.replace t.fwd (Cloud.id c) (Cloud.id d);
+      dissolve t ctx c)
+    prims;
+  charge ctx "combine" (Cost.combine ~kappa:(kappa t) (List.length member_list));
+  prune_redundant_secondaries t ctx (Cloud.id d);
+  d
+
+(* Stitch the given units (affected primary clouds plus black-neighbour
+   singletons) together with a new secondary cloud, per Algorithm
+   3.4/3.6: one distinct free node per unit, sharing when a unit has
+   none, combining when the global free supply is short. *)
+let make_secondary t ctx unit_clouds black_nbrs =
+  let unit_clouds = List.filter (alive t) unit_clouds in
+  let covered u = List.exists (fun c -> Cloud.mem c u) unit_clouds in
+  let lone_blacks = List.filter (fun u -> not (covered u)) black_nbrs in
+  let unit_count = List.length unit_clouds + List.length lone_blacks in
+  if unit_count >= 2 then begin
+    let singletons = List.map (fun u -> make_cloud t ctx Cloud.Primary [ u ]) lone_blacks in
+    let units = unit_clouds @ singletons in
+    if not t.cfg.Config.secondary_clouds then ignore (combine_primaries t ctx units)
+    else begin
+      let with_frees =
+        List.map (fun c -> (Cloud.id c, Registry.free_members t.reg c)) units
+      in
+      charge ctx "find-free" (Cost.find_free (List.length units));
+      match Matching.assign_bridges ~units:with_frees with
+      | None -> ignore (combine_primaries t ctx units)
+      | Some assignment ->
+        (* Shared free nodes first join the cloud they will represent. *)
+        List.iter
+          (fun (cid, f) ->
+            let c = Registry.find_exn t.reg cid in
+            if not (Cloud.mem c f) then join t ctx c f)
+          assignment;
+        let bridges = List.map snd assignment in
+        Log.debug (fun m ->
+            m "secondary cloud over bridges [%s]"
+              (String.concat ";" (List.map string_of_int bridges)));
+        let sec = make_cloud t ctx Cloud.Secondary bridges in
+        List.iter
+          (fun (cid, f) -> Registry.link t.reg ~secondary:(Cloud.id sec) ~bridge:f ~primary:cid)
+          assignment;
+        charge ctx "elect-secondary" (Cost.elect (List.length bridges));
+        charge ctx "build-secondary" (Cost.distribute ~kappa:(kappa t) (List.length bridges))
+    end
+  end
+
+(* Case 2.2: replace the deleted bridge of primary [ci_id] inside the
+   secondary cloud [f]. Returns the primary cloud that now anchors the
+   deleted node's F-side group (for the follow-up stitch), if any. *)
+let fix_secondary t ctx f ci_id =
+  if not (alive t f) then None
+  else begin
+    let f_id = Cloud.id f in
+    let anchor = Option.bind ci_id (Registry.find t.reg) in
+    match anchor with
+    | None ->
+      (* The bridge's primary vanished with the deletion; F needs no
+         replacement bridge for it. Any primary still linked in F anchors
+         the group. *)
+      Option.bind
+        (List.nth_opt (Registry.bridges_of_secondary t.reg f_id) 0)
+        (fun (_, p) -> Registry.find t.reg p)
+    | Some ci -> (
+      charge ctx "find-free" (Cost.find_free 1);
+      let pick_free c =
+        let frees = Registry.free_members t.reg c in
+        match frees with
+        | [] -> None
+        | fs -> Some (List.nth fs (Random.State.int t.rng (List.length fs)))
+      in
+      match pick_free ci with
+      | Some z ->
+        Cloud.add_member ~rng:t.rng f z;
+        Registry.note_membership t.reg ~node:z ~cloud:f_id;
+        Registry.link t.reg ~secondary:f_id ~bridge:z ~primary:(Cloud.id ci);
+        sync t ctx f;
+        charge ctx "fix-secondary" (Cost.splice ~kappa:(kappa t));
+        record ctx (Op.Splice { cloud_size = Cloud.size f });
+        Some ci
+      | None -> (
+        (* Share a free node from another primary of F. *)
+        let others =
+          List.filter_map
+            (fun (_, p) -> if p = Cloud.id ci then None else Registry.find t.reg p)
+            (Registry.bridges_of_secondary t.reg f_id)
+        in
+        let shared =
+          List.fold_left
+            (fun acc c -> match acc with Some _ -> acc | None -> pick_free c)
+            None others
+        in
+        match shared with
+        | Some w ->
+          join t ctx ci w;
+          Cloud.add_member ~rng:t.rng f w;
+          Registry.note_membership t.reg ~node:w ~cloud:f_id;
+          Registry.link t.reg ~secondary:f_id ~bridge:w ~primary:(Cloud.id ci);
+          sync t ctx f;
+          charge ctx "fix-secondary-shared" (Cost.splice ~kappa:(kappa t));
+          record ctx (Op.Splice { cloud_size = Cloud.size f });
+          Some ci
+        | None ->
+          (* No free node among all of F's primaries: combine them all
+             into one primary cloud and dissolve F. *)
+          let prims =
+            List.sort_uniq
+              (fun a b -> Int.compare (Cloud.id a) (Cloud.id b))
+              (List.filter_map
+                 (fun (_, p) -> Registry.find t.reg p)
+                 (Registry.bridges_of_secondary t.reg f_id))
+          in
+          let prims = if List.exists (fun c -> Cloud.id c = Cloud.id ci) prims then prims else ci :: prims in
+          dissolve t ctx f;
+          Some (combine_primaries t ctx prims)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The adversary's two moves.                                         *)
+
+let finish t ctx ~black_degree =
+  t.totals <- Cost.accumulate t.totals ctx.report ~black_degree;
+  t.last <- Some ctx.report;
+  t.last_ops <- List.rev ctx.ops
+
+let insert t ~node ~neighbors =
+  if Graph.has_node (graph t) node then invalid_arg "Xheal.insert: node already present";
+  t.seq <- t.seq + 1;
+  Ownership.add_node t.own node;
+  List.iter
+    (fun u -> if Graph.has_node (graph t) u && u <> node then Ownership.add_black t.own node u)
+    neighbors;
+  let ctx = { report = Cost.empty_report ~seq:t.seq Cost.Insertion; ops = [] } in
+  finish t ctx ~black_degree:0
+
+let delete t v =
+  if not (Graph.has_node (graph t) v) then invalid_arg "Xheal.delete: node not present";
+  t.seq <- t.seq + 1;
+  let black_nbrs = Ownership.black_neighbors t.own v in
+  let black_deg = List.length black_nbrs in
+  let my_clouds = Registry.clouds_of t.reg v in
+  let prim = List.filter (fun c -> Cloud.kind c = Cloud.Primary) my_clouds in
+  let sec = List.find_opt (fun c -> Cloud.kind c = Cloud.Secondary) my_clouds in
+  let case =
+    match (prim, sec) with
+    | _, Some _ -> Cost.Case22
+    | [], None -> Cost.Case1
+    | _ :: _, None -> Cost.Case21
+  in
+  Log.debug (fun m ->
+      m "delete %d: %s, %d black neighbours, %d clouds" v (Cost.case_to_string case) black_deg
+        (List.length my_clouds));
+  let ctx = { report = Cost.empty_report ~seq:t.seq case; ops = [] } in
+  (* Capture the bridge association before the registry forgets v. *)
+  let f_assoc =
+    match sec with
+    | Some f -> Registry.primary_of_bridge t.reg ~secondary:(Cloud.id f) ~bridge:v
+    | None -> None
+  in
+  (* Physical removal of v, its edges, duties and memberships. *)
+  Ownership.remove_node t.own v;
+  Registry.remove_node t.reg v;
+  (* Repair every cloud that lost v. *)
+  List.iter (fun c -> fix_cloud_after_loss t ctx v c) my_clouds;
+  (match case with
+  | Cost.Insertion | Cost.Batch _ -> assert false
+  | Cost.Case1 ->
+    if black_deg >= 2 then begin
+      charge ctx "elect-primary" (Cost.elect black_deg);
+      charge ctx "build-primary" (Cost.distribute ~kappa:(kappa t) black_deg);
+      ignore (make_cloud t ctx Cloud.Primary black_nbrs)
+    end
+  | Cost.Case21 -> make_secondary t ctx prim black_nbrs
+  | Cost.Case22 ->
+    let f = Option.get sec in
+    let anchor = fix_secondary t ctx f f_assoc in
+    (* Stitch the affected primaries not already linked through F,
+       anchored by the bridge's own (possibly combined) primary so the
+       two repaired groups stay connected. *)
+    let f_alive = alive t f in
+    let linked c =
+      f_alive
+      && List.exists (fun (_, p) -> p = Cloud.id c) (Registry.bridges_of_secondary t.reg (Cloud.id f))
+    in
+    let remaining = List.filter (fun c -> alive t c && not (linked c)) prim in
+    let units =
+      match anchor with
+      | Some a when alive t a && not (List.exists (fun c -> Cloud.id c = Cloud.id a) remaining) ->
+        a :: remaining
+      | _ -> remaining
+    in
+    make_secondary t ctx units black_nbrs);
+  finish t ctx ~black_degree:black_deg
+
+(* ------------------------------------------------------------------ *)
+(* Multi-deletion extension (Section 1: "Our algorithm can be extended
+   to handle multiple insertions/deletions"). All victims vanish in one
+   timestep; clouds are spliced once; broken secondaries are re-anchored;
+   then the damage is partitioned into regions — two affected units
+   belong to the same region when some victim (or chain of adjacent
+   victims) touched both — and each region is stitched like Case 2.1. *)
+
+type region_key = Cloudk of int | Nodek of int
+
+(* Follow combine forwarding to the live successor of a cloud id. *)
+let resolve_cloud t id =
+  let rec go id hops =
+    if hops > 1_000 then None
+    else
+      match Registry.find t.reg id with
+      | Some c -> Some c
+      | None -> (
+        match Hashtbl.find_opt t.fwd id with
+        | Some next -> go next (hops + 1)
+        | None -> None)
+  in
+  go id 0
+
+let delete_many t victims =
+  let victims = List.sort_uniq Int.compare victims in
+  let victims = List.filter (Graph.has_node (graph t)) victims in
+  match victims with
+  | [] -> ()
+  | [ v ] -> delete t v
+  | _ ->
+    t.seq <- t.seq + 1;
+    let ctx = { report = Cost.empty_report ~seq:t.seq (Cost.Batch (List.length victims)); ops = [] } in
+    (* Phase 0: capture the pre-removal structure around every victim. *)
+    let info =
+      List.map
+        (fun v ->
+          let blacks = Ownership.black_neighbors t.own v in
+          let clouds = Registry.clouds_of t.reg v in
+          let sec = List.find_opt (fun c -> Cloud.kind c = Cloud.Secondary) clouds in
+          let assoc =
+            Option.bind sec (fun f ->
+                Registry.primary_of_bridge t.reg ~secondary:(Cloud.id f) ~bridge:v)
+          in
+          (v, blacks, clouds, sec, assoc))
+        victims
+    in
+    let total_black =
+      List.fold_left (fun acc (_, blacks, _, _, _) -> acc + List.length blacks) 0 info
+    in
+    (* Phase 1: physical removal. *)
+    List.iter
+      (fun v ->
+        Ownership.remove_node t.own v;
+        Registry.remove_node t.reg v)
+      victims;
+    (* Phase 2: splice every affected cloud exactly once. *)
+    let affected = Hashtbl.create 16 in
+    List.iter
+      (fun (_, _, clouds, _, _) ->
+        List.iter (fun c -> Hashtbl.replace affected (Cloud.id c) c) clouds)
+      info;
+    Hashtbl.iter
+      (fun _ c ->
+        List.iter
+          (fun v ->
+            if Cloud.mem c v then begin
+              Cloud.purge_node_from_current c v;
+              ignore (Cloud.remove_member ~rng:t.rng c v)
+            end)
+          victims;
+        touch ctx;
+        if Cloud.size c = 0 then dissolve t ctx c
+        else begin
+          sync t ctx c;
+          charge ctx "fix-cloud" (Cost.splice ~kappa:(kappa t))
+        end)
+      affected;
+    (* Phase 3: re-anchor secondary clouds that lost bridges. *)
+    List.iter
+      (fun (_, _, _, sec, assoc) ->
+        match sec with
+        | Some f when alive t f -> ignore (fix_secondary t ctx f assoc)
+        | _ -> ())
+      info;
+    (* Phase 4: region grouping. Every victim links the units it touched;
+       victim-victim black edges chain regions together; shared clouds
+       (including dissolved secondaries) chain their victim members. *)
+    let uf = Unionfind.create () in
+    List.iter
+      (fun (v, blacks, clouds, _, _) ->
+        ignore (Unionfind.find uf (Nodek v));
+        List.iter
+          (fun u -> Unionfind.union uf (Nodek v) (Nodek u))
+          blacks;
+        List.iter (fun c -> Unionfind.union uf (Nodek v) (Cloudk (Cloud.id c))) clouds)
+      info;
+    (* Phase 5: stitch each region as in Case 2.1. *)
+    let victim_set = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace victim_set v ()) victims;
+    List.iter
+      (fun region ->
+        let cloud_units =
+          List.filter_map
+            (function
+              | Cloudk id -> (
+                match resolve_cloud t id with
+                | Some c when Cloud.kind c = Cloud.Primary -> Some c
+                | _ -> None)
+              | Nodek _ -> None)
+            region
+        in
+        let cloud_units =
+          List.sort_uniq (fun a b -> Int.compare (Cloud.id a) (Cloud.id b)) cloud_units
+        in
+        let orphan_blacks =
+          List.filter_map
+            (function
+              | Nodek u when (not (Hashtbl.mem victim_set u)) && Graph.has_node (graph t) u ->
+                Some u
+              | _ -> None)
+            region
+        in
+        (* A region with no surviving affected cloud is pure black damage:
+           repair it Case-1 style with one primary cloud over the orphans. *)
+        match cloud_units with
+        | [] ->
+          if List.length orphan_blacks >= 2 then begin
+            charge ctx "elect-primary" (Cost.elect (List.length orphan_blacks));
+            charge ctx "build-primary"
+              (Cost.distribute ~kappa:(kappa t) (List.length orphan_blacks));
+            ignore (make_cloud t ctx Cloud.Primary orphan_blacks)
+          end
+        | _ -> make_secondary t ctx cloud_units orphan_blacks)
+      (Unionfind.groups uf);
+    finish t ctx ~black_degree:total_black;
+    (* The batch counts as one report but as many deletions. *)
+    t.totals <-
+      { t.totals with Cost.deletions = t.totals.Cost.deletions + List.length victims - 1 }
+
+(* ------------------------------------------------------------------ *)
+
+let check t =
+  let ( let* ) r f = Result.bind r f in
+  let* () = Ownership.check t.own in
+  let* () = Registry.check t.reg in
+  let g = graph t in
+  let rec check_clouds = function
+    | [] -> Ok ()
+    | c :: rest ->
+      let* () = Cloud.check c in
+      let desired = Cloud.desired_edges c in
+      if not (Edge.Set.equal desired (Cloud.current c)) then
+        Error (Printf.sprintf "cloud %d: unsynced edges" (Cloud.id c))
+      else begin
+        let missing =
+          Edge.Set.filter
+            (fun e ->
+              (not (Graph.has_edge g (Edge.src e) (Edge.dst e)))
+              || not (List.mem (Cloud.id c) (Ownership.cloud_owners t.own (Edge.src e) (Edge.dst e))))
+            desired
+        in
+        if not (Edge.Set.is_empty missing) then
+          Error
+            (Printf.sprintf "cloud %d: %d desired edges missing from network/ownership"
+               (Cloud.id c) (Edge.Set.cardinal missing))
+        else check_clouds rest
+      end
+  in
+  let* () = check_clouds (clouds t) in
+  (* Every cloud member is a live node. *)
+  let dead = ref None in
+  List.iter
+    (fun c ->
+      Cloud.iter_members c (fun u ->
+          if not (Graph.has_node g u) && !dead = None then
+            dead := Some (Printf.sprintf "cloud %d contains dead node %d" (Cloud.id c) u)))
+    (clouds t);
+  match !dead with Some e -> Error e | None -> Ok ()
+
+let factory ?(cfg = Config.default) () =
+  let label =
+    Printf.sprintf "xheal(k=%d%s%s)" (Config.kappa cfg)
+      (if cfg.Config.secondary_clouds then "" else ",always-combine")
+      (if cfg.Config.half_rebuild then "" else ",no-rebuild")
+  in
+  {
+    Healer.label;
+    make =
+      (fun ~rng g ->
+        let t = create ~cfg ~rng g in
+        {
+          Healer.name = label;
+          graph = (fun () -> graph t);
+          insert = (fun ~node ~neighbors -> insert t ~node ~neighbors);
+          delete = (fun v -> delete t v);
+          totals = (fun () -> totals t);
+          last_report = (fun () -> last_report t);
+          check = (fun () -> check t);
+        });
+  }

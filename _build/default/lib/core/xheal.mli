@@ -1,0 +1,105 @@
+(** The Xheal self-healing engine — Algorithm 3.1 of the paper with the
+    distributed cost accounting of Section 5.
+
+    On every adversarial deletion the engine classifies the lost edges by
+    ownership and repairs:
+
+    - {b Case 1} (all black): builds one new {e primary} expander cloud
+      over the deleted node's neighbours (clique when small).
+    - {b Case 2.1} (only primary-cloud edges lost): splices the node out
+      of each affected primary cloud, then stitches the affected clouds
+      (plus singleton clouds for black neighbours) together with a new
+      {e secondary} cloud over one distinct free node per cloud —
+      sharing free nodes across clouds when a cloud has none, and
+      {e combining} all affected clouds into one primary cloud when the
+      free-node supply is exhausted (the amortized expensive path).
+    - {b Case 2.2} (the node was a bridge of secondary cloud [F]):
+      repairs the primaries, replaces the bridge in [F] with a fresh free
+      node of the same primary (sharing / combining as above), and runs
+      the Case-2.1 stitch over the affected clouds not already linked by
+      [F] together with the bridge's own primary (see DESIGN.md §2 for
+      why the anchor cloud is included: it is what keeps the two repaired
+      groups connected).
+
+    Insertions are free: the new edges are colored black.
+
+    The engine enforces and can audit the paper's structural invariants:
+    bridge-duty uniqueness, secondary-membership-equals-bridge-set,
+    ownership/graph consistency, and H-graph ring integrity. *)
+
+type t
+
+val create : ?cfg:Config.t -> rng:Random.State.t -> Xheal_graph.Graph.t -> t
+(** Engine over a copy of the initial network; all initial edges black. *)
+
+val cfg : t -> Config.t
+
+val kappa : t -> int
+
+val graph : t -> Xheal_graph.Graph.t
+(** The live healed network [G_t]. Callers must not mutate it. *)
+
+val insert : t -> node:int -> neighbors:int list -> unit
+(** Adversarial insertion. Unknown neighbour ids are ignored; inserting
+    an existing node raises [Invalid_argument]. *)
+
+val delete : t -> int -> unit
+(** Adversarial deletion plus repair.
+    @raise Invalid_argument if the node is absent. *)
+
+val delete_many : t -> int list -> unit
+(** The paper's multi-deletion extension (Section 1): the adversary
+    removes a whole set of nodes in one timestep; the repair runs once
+    per {e damage region} instead of once per node. All victims are
+    removed first; every surviving cloud that lost members is spliced;
+    then the affected clouds and orphaned black neighbours are grouped
+    into regions (two units share a region when some victim touched
+    both) and each region is stitched exactly like a Case-2.1 repair.
+    Secondary clouds that lost bridges are re-anchored region-locally.
+    Invariants, connectivity of each surviving component, and the
+    Theorem-2.1 degree bound are preserved (see the test suite).
+    Duplicate and unknown ids are ignored. *)
+
+val totals : t -> Cost.totals
+
+val last_report : t -> Cost.report option
+
+val last_ops : t -> Op.t list
+(** The concrete repair operations of the most recent deletion, in
+    execution order — replayable as real protocols with
+    [Xheal_distributed.Replay]. Empty after insertions. *)
+
+val black_degree : t -> int -> int
+(** Degree counting only black-owned edges. *)
+
+val clouds : t -> Cloud.t list
+
+val num_clouds : t -> int
+
+val is_free : t -> int -> bool
+
+(** {1 Introspection}
+
+    Read-only views of the coloring the algorithm maintains, for
+    visualization and debugging. *)
+
+val is_black_edge : t -> int -> int -> bool
+(** True iff the edge exists and carries black (adversarial) ownership. *)
+
+val edge_cloud_owners : t -> int -> int -> int list
+(** Sorted ids of the clouds owning the edge ([[]] if none or absent). *)
+
+val find_cloud : t -> int -> Cloud.t option
+(** Cloud by id (its edge color). *)
+
+val clouds_of_node : t -> int -> Cloud.t list
+(** Clouds the node currently belongs to, sorted by id. *)
+
+val check : t -> (unit, string) result
+(** Full invariant audit: ownership/graph consistency, registry
+    invariants, per-cloud structure, and that every cloud's desired edge
+    set is live and owned. *)
+
+val factory : ?cfg:Config.t -> unit -> Healer.factory
+(** Packages the engine behind the {!Healer} interface for the drivers.
+    The label reflects κ and ablation flags. *)

@@ -1,0 +1,1 @@
+lib/distributed/bfs_echo.ml: Int List Msg Netsim Option Xheal_graph

@@ -1,0 +1,1 @@
+lib/distributed/bfs_echo.mli: Netsim Xheal_graph

@@ -1,0 +1,1 @@
+lib/distributed/cloud_build.ml: List Msg Netsim Xheal_expander Xheal_graph

@@ -1,0 +1,1 @@
+lib/distributed/cloud_build.mli: Netsim Random

@@ -1,0 +1,1 @@
+lib/distributed/dist_repair.ml: Bfs_echo Cloud_build Election List Netsim Option

@@ -1,0 +1,1 @@
+lib/distributed/dist_repair.mli: Netsim Random Xheal_graph

@@ -1,0 +1,1 @@
+lib/distributed/election.ml: Array Int List Msg Netsim Random

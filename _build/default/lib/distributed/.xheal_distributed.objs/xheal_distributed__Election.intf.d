@@ -1,0 +1,1 @@
+lib/distributed/election.mli: Netsim Random

@@ -1,0 +1,1 @@
+lib/distributed/msg.ml: Format List

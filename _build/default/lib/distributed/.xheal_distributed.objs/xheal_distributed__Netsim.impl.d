@@ -1,0 +1,1 @@
+lib/distributed/netsim.ml: Hashtbl Int List Msg Option

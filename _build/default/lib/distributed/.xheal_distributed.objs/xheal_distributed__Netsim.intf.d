@@ -1,0 +1,1 @@
+lib/distributed/netsim.mli: Msg

@@ -1,0 +1,1 @@
+lib/distributed/replay.ml: Dist_repair List Xheal_core Xheal_graph

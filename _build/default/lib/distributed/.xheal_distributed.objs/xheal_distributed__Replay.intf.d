@@ -1,0 +1,1 @@
+lib/distributed/replay.mli: Dist_repair Random Xheal_core

@@ -1,0 +1,83 @@
+module Graph = Xheal_graph.Graph
+
+type node_state = {
+  mutable parent : int option;
+  mutable visited : bool;
+  mutable replies_expected : int;
+  mutable children_pending : int;
+  mutable collected : int list;
+  mutable reported : bool;
+}
+
+let install net ~graph ~root =
+  if not (Graph.has_node graph root) then invalid_arg "Bfs_echo.install: root not in graph";
+  let result = ref None in
+  Graph.iter_nodes
+    (fun u ->
+      let st =
+        {
+          parent = None;
+          visited = false;
+          replies_expected = 0;
+          children_pending = 0;
+          collected = [];
+          reported = false;
+        }
+      in
+      let nbrs = Graph.neighbors graph u in
+      let finish_if_ready out =
+        if
+          st.visited && (not st.reported) && st.replies_expected = 0
+          && st.children_pending = 0
+        then begin
+          st.reported <- true;
+          if u = root then begin
+            result := Some (List.sort Int.compare (root :: st.collected));
+            out
+          end
+          else (Option.get st.parent, Msg.Subtree (u :: st.collected)) :: out
+        end
+        else out
+      in
+      let handler ~round ~inbox =
+        let out = ref [] in
+        if round = 0 && u = root then begin
+          st.visited <- true;
+          st.replies_expected <- List.length nbrs;
+          List.iter (fun v -> out := (v, Msg.Explore { root; dist = 1 }) :: !out) nbrs
+        end;
+        List.iter
+          (fun (src, msg) ->
+            match msg with
+            | Msg.Explore { root = r; dist } ->
+              if st.visited then out := (src, Msg.Reject) :: !out
+              else begin
+                st.visited <- true;
+                st.parent <- Some src;
+                out := (src, Msg.Accept) :: !out;
+                let others = List.filter (fun v -> v <> src) nbrs in
+                st.replies_expected <- List.length others;
+                List.iter
+                  (fun v -> out := (v, Msg.Explore { root = r; dist = dist + 1 }) :: !out)
+                  others
+              end
+            | Msg.Accept ->
+              st.replies_expected <- st.replies_expected - 1;
+              st.children_pending <- st.children_pending + 1
+            | Msg.Reject -> st.replies_expected <- st.replies_expected - 1
+            | Msg.Subtree addrs ->
+              st.children_pending <- st.children_pending - 1;
+              st.collected <- addrs @ st.collected
+            | _ -> ())
+          inbox;
+        finish_if_ready !out
+      in
+      Netsim.add_node net u handler)
+    graph;
+  fun () -> !result
+
+let run ~graph ~root =
+  let net = Netsim.create () in
+  let get = install net ~graph ~root in
+  let stats = Netsim.run net in
+  (stats, get ())

@@ -1,0 +1,14 @@
+(** Distributed BFS with echo (convergecast): the root floods the
+    component, every node adopts its first discoverer as parent, and
+    subtree address lists are echoed back up. Terminates in [O(ecc(root))]
+    rounds with [O(m)] control messages plus one subtree message per
+    node — the primitive the paper's combine operation uses to gather all
+    cloud members at a leader. *)
+
+val install :
+  Netsim.t -> graph:Xheal_graph.Graph.t -> root:int -> unit -> int list option
+(** Registers a handler for every node of the graph; communication only
+    follows graph edges. The returned getter yields the sorted addresses
+    collected at the root (the root's component) once the run finishes. *)
+
+val run : graph:Xheal_graph.Graph.t -> root:int -> Netsim.stats * int list option

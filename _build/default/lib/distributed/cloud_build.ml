@@ -1,0 +1,55 @@
+module Edge = Xheal_graph.Edge
+module Hgraph = Xheal_expander.Hgraph
+
+let plan_edges ~rng ~d members =
+  let z = List.length members in
+  if z <= 1 then []
+  else if z <= (2 * d) + 1 then
+    (* Clique for small clouds, as in Algorithm 3.2. *)
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) members)
+      members
+  else
+    let h = Hgraph.create ~rng ~d members in
+    List.map Edge.endpoints (Hgraph.edges h)
+
+let run ~rng ~d ~leader ~members =
+  if not (List.mem leader members) then invalid_arg "Cloud_build.run: leader must be a member";
+  let edges = plan_edges ~rng ~d members in
+  let incident u = List.filter (fun (a, b) -> a = u || b = u) edges in
+  let net = Netsim.create () in
+  List.iter
+    (fun u ->
+      let my_edges = ref (if u = leader then incident u else []) in
+      let handler ~round ~inbox =
+        let out = ref [] in
+        List.iter
+          (fun (_, msg) ->
+            match msg with
+            | Msg.Edges es ->
+              my_edges := es;
+              (* Handshake every fresh incident edge. *)
+              List.iter
+                (fun (a, b) ->
+                  let peer = if a = u then b else a in
+                  out := (peer, Msg.Hello) :: !out)
+                es
+            | _ -> ())
+          inbox;
+        if round = 0 && u = leader then begin
+          List.iter
+            (fun v -> if v <> leader then out := (v, Msg.Edges (incident v)) :: !out)
+            members;
+          (* The leader handshakes its own edges immediately. *)
+          List.iter
+            (fun (a, b) ->
+              let peer = if a = u then b else a in
+              out := (peer, Msg.Hello) :: !out)
+            !my_edges
+        end;
+        !out
+      in
+      Netsim.add_node net u handler)
+    members;
+  let stats = Netsim.run net in
+  (stats, List.sort compare edges)

@@ -1,0 +1,14 @@
+(** Expander-cloud construction protocol: a leader that knows all member
+    addresses locally samples a κ-regular H-graph (clique when small),
+    tells every member its incident edges, and the members handshake each
+    fresh edge. Three rounds; [O(κ·z)] messages — the cost the paper
+    charges for building a cloud once a leader exists. *)
+
+val run :
+  rng:Random.State.t ->
+  d:int ->
+  leader:int ->
+  members:int list ->
+  Netsim.stats * (int * int) list
+(** Returns the simulation stats and the edge list that was installed
+    (sorted canonical pairs). [leader] must be a member. *)

@@ -1,0 +1,31 @@
+type stats = { rounds : int; messages : int; words : int }
+
+let add s (n : Netsim.stats) =
+  {
+    rounds = s.rounds + n.Netsim.rounds;
+    messages = s.messages + n.Netsim.messages;
+    words = s.words + n.Netsim.words;
+  }
+
+let zero = { rounds = 0; messages = 0; words = 0 }
+
+let build_phase ~rng ~d ~leader ~members acc =
+  let s, _ = Cloud_build.run ~rng ~d ~leader ~members in
+  add acc s
+
+let primary_build ~rng ~d ~neighbors =
+  match neighbors with
+  | [] -> zero
+  | _ ->
+    let elect_stats, leader = Election.run ~rng neighbors in
+    let leader = Option.value ~default:(List.hd neighbors) leader in
+    build_phase ~rng ~d ~leader ~members:neighbors (add zero elect_stats)
+
+let secondary_stitch ~rng ~d ~bridges = primary_build ~rng ~d ~neighbors:bridges
+
+let combine ~rng ~d ~union ~initiator =
+  let bfs_stats, collected = Bfs_echo.run ~graph:union ~root:initiator in
+  let members = Option.value ~default:[ initiator ] collected in
+  build_phase ~rng ~d ~leader:initiator ~members (add zero bfs_stats)
+
+let splice ~d = { rounds = 1; messages = 4 * d; words = 8 * d }

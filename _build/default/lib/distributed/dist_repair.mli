@@ -1,0 +1,28 @@
+(** End-to-end repair operations measured as actual protocols on the
+    simulator, phase by phase (the phases of Theorem 5's proof). These
+    are the measured counterparts of the closed-form charges in
+    {!Xheal_core.Cost}; experiments E6/E7 compare the two. *)
+
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;  (** CONGEST payload volume (see {!Msg.size_words}). *)
+}
+
+val add : stats -> Netsim.stats -> stats
+
+val primary_build : rng:Random.State.t -> d:int -> neighbors:int list -> stats
+(** Case 1: the deleted node's neighbours elect a leader (they know each
+    other via NoN), which builds and distributes the new primary cloud. *)
+
+val secondary_stitch : rng:Random.State.t -> d:int -> bridges:int list -> stats
+(** Building a secondary cloud over the chosen bridge nodes. *)
+
+val combine : rng:Random.State.t -> d:int -> union:Xheal_graph.Graph.t -> initiator:int -> stats
+(** The expensive path: BFS-echo over the union of the clouds being
+    merged gathers every address at the initiator, which then builds and
+    distributes one big cloud. *)
+
+val splice : d:int -> stats
+(** Modeled constant cost of one H-graph INSERT/DELETE splice (2κ
+    messages, 1 round) — too local to be worth simulating. *)

@@ -1,0 +1,47 @@
+let log2_ceil m =
+  let rec go acc p = if p >= m then acc else go (acc + 1) (2 * p) in
+  if m <= 1 then 0 else go 0 1
+
+(* Largest k with 2^k dividing i (i > 0). *)
+let valuation i =
+  let rec go k i = if i land 1 = 1 then k else go (k + 1) (i lsr 1) in
+  go 0 i
+
+let install ~rng net participants =
+  let parts = Array.of_list (List.sort_uniq Int.compare participants) in
+  let m = Array.length parts in
+  let final_round = log2_ceil m in
+  let elected = ref None in
+  Array.iteri
+    (fun i id ->
+      (* Private coin; ties broken by id, so the duel order is total. *)
+      let champion = ref (Random.State.int rng 0x3FFFFFFF, id) in
+      let handler ~round ~inbox =
+        List.iter
+          (fun (_, msg) ->
+            match msg with
+            | Msg.Challenge { rank; candidate } ->
+              if (rank, candidate) > !champion then champion := (rank, candidate)
+            | Msg.Victory { leader; _ } -> elected := Some leader
+            | _ -> ())
+          inbox;
+        if i > 0 && round = valuation i then
+          [ (parts.(i - (1 lsl round)), Msg.Challenge { rank = fst !champion; candidate = snd !champion }) ]
+        else if i = 0 && round = final_round then begin
+          let leader = snd !champion in
+          elected := Some leader;
+          Array.to_list
+            (Array.map (fun other -> (other, Msg.Victory { leader; members = Array.to_list parts }))
+               (Array.sub parts 1 (m - 1)))
+        end
+        else []
+      in
+      Netsim.add_node net id handler)
+    parts;
+  fun () -> !elected
+
+let run ~rng participants =
+  let net = Netsim.create () in
+  let get = install ~rng net participants in
+  let stats = Netsim.run net in
+  (stats, get ())

@@ -1,0 +1,19 @@
+(** Randomized tournament leader election among a set of nodes that all
+    know the participant list (the NoN precondition of the paper's cloud
+    constructions). Each participant draws a private random rank;
+    pairwise duels propagate the best rank up a binary bracket rooted at
+    the lowest-id participant, which then broadcasts the winner.
+    [⌈log₂ m⌉ + O(1)] rounds and [O(m)] duel messages plus [m − 1]
+    broadcast messages — within the paper's [O(m log m)] budget. The
+    winner is uniform over participants and unpredictable to the
+    adversary (private coins). *)
+
+val install :
+  rng:Random.State.t -> Netsim.t -> int list -> unit -> int option
+(** [install ~rng net participants] registers a handler per participant
+    and returns a getter that yields the elected leader once the
+    simulation has run ([None] before completion or on an empty list).
+    Participants must not already be registered in [net]. *)
+
+val run : rng:Random.State.t -> int list -> Netsim.stats * int option
+(** Convenience: fresh simulator, install, run, return stats and leader. *)

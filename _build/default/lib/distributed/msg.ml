@@ -1,0 +1,27 @@
+type t =
+  | Challenge of { rank : int; candidate : int }
+  | Victory of { leader : int; members : int list }
+  | Explore of { root : int; dist : int }
+  | Accept
+  | Reject
+  | Subtree of int list
+  | Edges of (int * int) list
+  | Hello
+
+let size_words = function
+  | Challenge _ -> 2
+  | Victory { members; _ } -> 1 + List.length members
+  | Explore _ -> 2
+  | Accept | Reject | Hello -> 1
+  | Subtree addrs -> max 1 (List.length addrs)
+  | Edges es -> max 1 (2 * List.length es)
+
+let pp ppf = function
+  | Challenge { rank; candidate } -> Format.fprintf ppf "challenge(rank=%d, from=%d)" rank candidate
+  | Victory { leader; members } -> Format.fprintf ppf "victory(%d, |m|=%d)" leader (List.length members)
+  | Explore { root; dist } -> Format.fprintf ppf "explore(root=%d, d=%d)" root dist
+  | Accept -> Format.fprintf ppf "accept"
+  | Reject -> Format.fprintf ppf "reject"
+  | Subtree addrs -> Format.fprintf ppf "subtree(|%d|)" (List.length addrs)
+  | Edges es -> Format.fprintf ppf "edges(|%d|)" (List.length es)
+  | Hello -> Format.fprintf ppf "hello"

@@ -1,0 +1,27 @@
+(** Message vocabulary shared by the repair protocols. The model is the
+    paper's synchronous LOCAL model: unbounded message size, one hop per
+    round, private channels. *)
+
+type t =
+  | Challenge of { rank : int; candidate : int }
+      (** Tournament election: a candidate challenges its pair partner
+          with its random rank. *)
+  | Victory of { leader : int; members : int list }
+      (** Election result broadcast. *)
+  | Explore of { root : int; dist : int }  (** BFS wavefront. *)
+  | Accept  (** BFS: sender took the receiver as parent. *)
+  | Reject  (** BFS: sender already has a parent. *)
+  | Subtree of int list
+      (** BFS echo: addresses collected in the sender's subtree. *)
+  | Edges of (int * int) list
+      (** Leader → member: your incident edges in the new expander. *)
+  | Hello  (** Edge-establishment handshake along a fresh edge. *)
+
+val pp : Format.formatter -> t -> unit
+
+val size_words : t -> int
+(** Payload size in O(log n)-bit words — the CONGEST-model cost of the
+    message. The LOCAL model the paper analyzes ignores this; we track it
+    anyway because the paper's conclusion asks how far the algorithm is
+    from CONGEST-friendliness. Constant-size control messages cost 1–2
+    words; address lists cost their length. *)

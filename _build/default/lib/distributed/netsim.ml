@@ -1,0 +1,55 @@
+type handler = round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
+
+type t = {
+  nodes : (int, handler) Hashtbl.t;
+  mutable inflight : (int * int * Msg.t) list; (* src, dst, msg *)
+  mutable sent : int;
+  mutable words : int;
+}
+
+type stats = { rounds : int; messages : int; words : int }
+
+let create () = { nodes = Hashtbl.create 32; inflight = []; sent = 0; words = 0 }
+
+let add_node t id handler =
+  if Hashtbl.mem t.nodes id then invalid_arg "Netsim.add_node: duplicate id";
+  Hashtbl.replace t.nodes id handler
+
+let send_initial t ~src ~dst msg =
+  t.inflight <- (src, dst, msg) :: t.inflight;
+  t.sent <- t.sent + 1;
+  t.words <- t.words + Msg.size_words msg
+
+let run ?(max_rounds = 10_000) t =
+  let round = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !round < max_rounds do
+    let inboxes = Hashtbl.create 16 in
+    List.iter
+      (fun (src, dst, msg) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes dst) in
+        Hashtbl.replace inboxes dst ((src, msg) :: prev))
+      t.inflight;
+    t.inflight <- [];
+    let outgoing = ref [] in
+    (* Deterministic node order keeps runs reproducible. *)
+    let ids = List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes []) in
+    List.iter
+      (fun id ->
+        let handler = Hashtbl.find t.nodes id in
+        let inbox = List.rev (Option.value ~default:[] (Hashtbl.find_opt inboxes id)) in
+        let out = handler ~round:!round ~inbox in
+        List.iter
+          (fun (dst, msg) ->
+            if Hashtbl.mem t.nodes dst then begin
+              outgoing := (id, dst, msg) :: !outgoing;
+              t.sent <- t.sent + 1;
+              t.words <- t.words + Msg.size_words msg
+            end)
+          out)
+      ids;
+    t.inflight <- !outgoing;
+    incr round;
+    continue_ := t.inflight <> []
+  done;
+  { rounds = !round; messages = t.sent; words = t.words }

@@ -1,0 +1,32 @@
+(** Synchronous message-passing simulator (the LOCAL model of Figure 1):
+    in each round every node consumes the messages addressed to it in the
+    previous round and emits new ones; messages are never lost. Round 0
+    steps every node with an empty inbox (the "neighbours are informed of
+    the deletion" wake-up); execution stops at quiescence — a round in
+    which no node sends anything. The simulator reports rounds and total
+    messages, the paper's two efficiency metrics. *)
+
+type t
+
+type handler = round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
+(** [inbox] pairs each message with its sender; the result lists
+    [(destination, message)] pairs delivered next round. Handlers close
+    over their own node state. *)
+
+val create : unit -> t
+
+val add_node : t -> int -> handler -> unit
+(** @raise Invalid_argument on duplicate ids. *)
+
+val send_initial : t -> src:int -> dst:int -> Msg.t -> unit
+(** Seeds a message delivered in round 0 (counted). *)
+
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;  (** Total CONGEST payload ({!Msg.size_words}) sent. *)
+}
+
+val run : ?max_rounds:int -> t -> stats
+(** Executes until quiescence or [max_rounds] (default 10_000).
+    Messages to unregistered (deleted) nodes are silently dropped. *)

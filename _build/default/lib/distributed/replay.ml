@@ -1,0 +1,43 @@
+module Graph = Xheal_graph.Graph
+module Op = Xheal_core.Op
+
+let zero = { Dist_repair.rounds = 0; messages = 0; words = 0 }
+
+let plus a b =
+  {
+    Dist_repair.rounds = a.Dist_repair.rounds + b.Dist_repair.rounds;
+    messages = a.Dist_repair.messages + b.Dist_repair.messages;
+    words = a.Dist_repair.words + b.Dist_repair.words;
+  }
+
+let combine_union clouds =
+  let g = Graph.create () in
+  List.iter
+    (fun (members, edges) ->
+      List.iter (Graph.add_node g) members;
+      List.iter (fun (u, v) -> if u <> v then ignore (Graph.add_edge g u v)) edges)
+    clouds;
+  (* The absorbed clouds all touched the deleted node, so its
+     ex-neighbours can relay between them (NoN); model that relay with
+     one edge from the first cloud's first member to each other cloud. *)
+  (match clouds with
+  | (first :: _, _) :: rest ->
+    List.iter
+      (function
+        | anchor :: _, _ -> if anchor <> first then ignore (Graph.add_edge g first anchor)
+        | [], _ -> ())
+      rest
+  | _ -> ());
+  g
+
+let op ~rng ~d = function
+  | Op.Primary_build { members } -> Dist_repair.primary_build ~rng ~d ~neighbors:members
+  | Op.Secondary_build { bridges } -> Dist_repair.secondary_stitch ~rng ~d ~bridges
+  | Op.Splice _ -> Dist_repair.splice ~d
+  | Op.Combine { clouds } -> (
+    let union = combine_union clouds in
+    match Graph.nodes union with
+    | [] -> zero
+    | initiator :: _ -> Dist_repair.combine ~rng ~d ~union ~initiator)
+
+let deletion ~rng ~d ops = List.fold_left (fun acc o -> plus acc (op ~rng ~d o)) zero ops

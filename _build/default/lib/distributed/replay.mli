@@ -1,0 +1,20 @@
+(** Replays the engine's recorded repair operations
+    ({!Xheal_core.Op.t}, from [Xheal.last_ops]) as actual protocols on
+    the synchronous simulator. This closes the loop between the engine's
+    closed-form cost accounting and measured protocol executions: E6
+    uses it to measure real deletions end to end. *)
+
+val op : rng:Random.State.t -> d:int -> Xheal_core.Op.t -> Dist_repair.stats
+(** One operation:
+    - [Primary_build]/[Secondary_build]: tournament election over the
+      member set (NoN-known) followed by the cloud-build protocol;
+    - [Splice]: the constant-cost H-graph splice;
+    - [Combine]: BFS-echo address collection over the union of the
+      absorbed clouds' edge sets — clouds are bridged through their
+      first members (the deleted node's ex-neighbourhood, which the
+      paper notes stays mutually reachable during repair) — then one
+      build over the union. *)
+
+val deletion : rng:Random.State.t -> d:int -> Xheal_core.Op.t list -> Dist_repair.stats
+(** A whole deletion's operation list; phases execute sequentially, so
+    rounds and messages add. *)

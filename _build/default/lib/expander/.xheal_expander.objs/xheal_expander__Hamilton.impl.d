@@ -1,0 +1,1 @@
+lib/expander/hamilton.ml: Array Format Hashtbl List Printf Random Sampler Xheal_graph

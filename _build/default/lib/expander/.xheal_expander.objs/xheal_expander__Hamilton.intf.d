@@ -1,0 +1,1 @@
+lib/expander/hamilton.mli: Random Xheal_graph

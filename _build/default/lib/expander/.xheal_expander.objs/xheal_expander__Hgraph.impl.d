@@ -1,0 +1,1 @@
+lib/expander/hgraph.ml: Array Hamilton List Option Printf Sampler Xheal_graph

@@ -1,0 +1,1 @@
+lib/expander/hgraph.mli: Random Xheal_graph

@@ -1,0 +1,1 @@
+lib/expander/sampler.ml: Array Hashtbl Int List Random

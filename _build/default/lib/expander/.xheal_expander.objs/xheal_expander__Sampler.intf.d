@@ -1,0 +1,1 @@
+lib/expander/sampler.mli: Random

@@ -1,0 +1,1 @@
+lib/expander/verify.ml: Fun Hgraph List Random Xheal_graph Xheal_linalg

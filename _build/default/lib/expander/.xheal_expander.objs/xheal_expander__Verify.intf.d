@@ -1,0 +1,1 @@
+lib/expander/verify.mli: Hgraph Random

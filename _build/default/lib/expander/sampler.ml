@@ -1,0 +1,67 @@
+type t = {
+  mutable arr : int array;
+  mutable len : int;
+  pos : (int, int) Hashtbl.t;
+}
+
+let create ?(capacity = 8) () = { arr = Array.make (max 1 capacity) 0; len = 0; pos = Hashtbl.create capacity }
+
+let size t = t.len
+
+let mem t x = Hashtbl.mem t.pos x
+
+let grow t =
+  if t.len >= Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) 0 in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end
+
+let add t x =
+  if mem t x then false
+  else begin
+    grow t;
+    t.arr.(t.len) <- x;
+    Hashtbl.replace t.pos x t.len;
+    t.len <- t.len + 1;
+    true
+  end
+
+let remove t x =
+  match Hashtbl.find_opt t.pos x with
+  | None -> false
+  | Some i ->
+    let last = t.len - 1 in
+    let y = t.arr.(last) in
+    Hashtbl.remove t.pos x;
+    if y <> x then begin
+      t.arr.(i) <- y;
+      Hashtbl.replace t.pos y i
+    end;
+    t.arr.(last) <- 0;
+    t.len <- last;
+    true
+
+let of_list xs =
+  let t = create ~capacity:(List.length xs) () in
+  List.iter (fun x -> ignore (add t x)) xs;
+  t
+
+let sample ~rng t = if t.len = 0 then None else Some t.arr.(Random.State.int rng t.len)
+
+let sample_other ~rng t x =
+  if not (mem t x) then sample ~rng t
+  else if t.len <= 1 then None
+  else begin
+    let i = Hashtbl.find t.pos x in
+    let j = Random.State.int rng (t.len - 1) in
+    let j = if j >= i then j + 1 else j in
+    Some t.arr.(j)
+  end
+
+let to_list t = List.sort Int.compare (Array.to_list (Array.sub t.arr 0 t.len))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done

@@ -1,0 +1,1 @@
+lib/experiments/a1_secondary.ml: Common Exp List Workloads Xheal_adversary Xheal_baselines Xheal_core Xheal_metrics

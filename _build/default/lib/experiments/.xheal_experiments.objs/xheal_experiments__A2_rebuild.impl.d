@@ -1,0 +1,1 @@
+lib/experiments/a2_rebuild.ml: Common Exp List Printf Random Xheal_baselines Xheal_core Xheal_graph Xheal_metrics

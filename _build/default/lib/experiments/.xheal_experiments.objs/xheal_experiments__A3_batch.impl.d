@@ -1,0 +1,1 @@
+lib/experiments/a3_batch.ml: Common Exp List Printf Random Workloads Xheal_core Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: List Xheal_adversary Xheal_baselines Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Xheal_adversary Xheal_core Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e10_timeline.ml: Common Exp Fun List String Workloads Xheal_adversary Xheal_baselines Xheal_core Xheal_graph Xheal_linalg Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e11_routing.ml: Exp List Printf String Xheal_adversary Xheal_baselines Xheal_core Xheal_graph Xheal_metrics Xheal_routing

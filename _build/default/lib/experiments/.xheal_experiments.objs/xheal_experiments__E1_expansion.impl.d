@@ -1,0 +1,1 @@
+lib/experiments/e1_expansion.ml: Common Exp List Printf String Workloads Xheal_adversary Xheal_core Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e2_star.ml: Common Exp List String Xheal_baselines Xheal_core Xheal_graph Xheal_metrics

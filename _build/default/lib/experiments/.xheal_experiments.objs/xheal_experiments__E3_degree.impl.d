@@ -1,0 +1,1 @@
+lib/experiments/e3_degree.ml: Exp List Workloads Xheal_adversary Xheal_baselines Xheal_core Xheal_metrics

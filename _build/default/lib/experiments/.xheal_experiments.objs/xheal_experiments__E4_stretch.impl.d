@@ -1,0 +1,1 @@
+lib/experiments/e4_stretch.ml: Common Exp List String Workloads Xheal_adversary Xheal_baselines Xheal_core Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e5_spectral.ml: Common Exp Float List Printf String Workloads Xheal_adversary Xheal_baselines Xheal_core Xheal_graph Xheal_linalg Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e5_spectral.mli: Exp

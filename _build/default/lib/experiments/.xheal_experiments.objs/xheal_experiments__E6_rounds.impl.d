@@ -1,0 +1,1 @@
+lib/experiments/e6_rounds.ml: Common Exp List Printf Random Workloads Xheal_core Xheal_distributed Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+lib/experiments/e8_hgraph.ml: Common Exp Float List Xheal_expander Xheal_graph Xheal_linalg Xheal_metrics

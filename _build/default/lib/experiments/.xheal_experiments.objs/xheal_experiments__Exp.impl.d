@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Buffer List Printf Random

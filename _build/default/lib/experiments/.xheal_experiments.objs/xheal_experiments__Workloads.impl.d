@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Random Xheal_adversary Xheal_graph

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Random Xheal_adversary Xheal_core Xheal_graph

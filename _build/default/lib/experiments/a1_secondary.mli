@@ -1,0 +1,5 @@
+(** A1: ablation — secondary clouds + free-node sharing vs combining on
+    every multi-cloud repair (the design choice Section 3 motivates as
+    the amortization trick). *)
+
+val exp : Exp.t

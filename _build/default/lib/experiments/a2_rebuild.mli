@@ -1,0 +1,4 @@
+(** A2: ablation — re-randomizing a cloud after it halves (the paper's
+    fix for the union-bound decay of Theorem 4's w.h.p. guarantee). *)
+
+val exp : Exp.t

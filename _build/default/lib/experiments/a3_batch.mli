@@ -1,0 +1,5 @@
+(** A3: ablation — repairing a multi-node attack in one batched timestep
+    (`Xheal.delete_many`, the paper's Section-1 extension) versus
+    replaying the same victims as single-deletion timesteps. *)
+
+val exp : Exp.t

@@ -1,0 +1,22 @@
+module Expansion = Xheal_metrics.Expansion
+module Driver = Xheal_adversary.Driver
+
+let f ?(d = 3) x = Xheal_metrics.Table.fmt_float ~decimals:d x
+
+let log2f n = log (float_of_int (max 2 n)) /. log 2.0
+
+let measure_pair driver =
+  (Expansion.measure (Driver.graph driver), Expansion.measure (Driver.gprime driver))
+
+let healers_for_comparison () =
+  [
+    Xheal_baselines.Baselines.tree_heal;
+    Xheal_baselines.Baselines.line_heal;
+    Xheal_baselines.Baselines.star_heal;
+    Xheal_baselines.Baselines.clique_heal;
+    Xheal_baselines.Baselines.xheal ();
+  ]
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

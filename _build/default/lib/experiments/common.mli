@@ -1,0 +1,17 @@
+(** Helpers shared by the experiment modules. *)
+
+val f : ?d:int -> float -> string
+(** Fixed-point formatting (default 3 decimals). *)
+
+val log2f : int -> float
+
+val measure_pair :
+  Xheal_adversary.Driver.t -> Xheal_metrics.Expansion.measure * Xheal_metrics.Expansion.measure
+(** [(healed, gprime)] expansion measurements for a finished run. *)
+
+val healers_for_comparison : unit -> Xheal_core.Healer.factory list
+(** tree / line / star / clique baselines plus default Xheal — the E1
+    comparison set (no-heal excluded: it disconnects immediately under
+    the attack mixes and measures nothing). *)
+
+val mean : float list -> float

@@ -1,0 +1,6 @@
+(** E10 (beyond the paper's tables): sustained overlay health — spectral
+    gap, conductance and mixing over a long churn timeline, the property
+    the paper's routing/congestion discussion (Cheeger section) cares
+    about. *)
+
+val exp : Exp.t

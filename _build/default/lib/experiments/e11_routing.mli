@@ -1,0 +1,6 @@
+(** E11 (beyond the paper's tables): route repair and load balance — the
+    two open questions of the paper's conclusion, measured. After an
+    attack, how stretched are the replacement routes, and how badly does
+    shortest-path traffic concentrate on the repair structure? *)
+
+val exp : Exp.t

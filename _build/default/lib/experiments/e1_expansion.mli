@@ -1,0 +1,4 @@
+(** E1: expansion preservation under mixed adversarial deletion
+    (Theorem 2.3 / Lemma 2) — Xheal vs the repair-shape baselines. *)
+
+val exp : Exp.t

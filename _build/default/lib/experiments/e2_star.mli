@@ -1,0 +1,5 @@
+(** E2: the star catastrophe (Section 1 / Related Work) — deleting the
+    hub of [K_{1,n}]: tree-shaped repair leaves expansion [O(1/n)], Xheal
+    leaves a constant. *)
+
+val exp : Exp.t

@@ -1,0 +1,4 @@
+(** E3: degree bound [deg_G(x) ≤ κ·deg_G'(x) + 2κ] (Theorem 2.1 /
+    Lemma 3) across κ and adversarial mixes. *)
+
+val exp : Exp.t

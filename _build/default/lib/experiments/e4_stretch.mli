@@ -1,0 +1,4 @@
+(** E4: stretch bound — healed distances within [O(log n)] of [G']
+    distances (Theorem 2.2 / Lemma 4). *)
+
+val exp : Exp.t

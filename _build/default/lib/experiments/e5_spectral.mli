@@ -1,0 +1,4 @@
+(** E5: spectral guarantee — λ(G_t) against Theorem 2.4's lower bound,
+    and Corollary 1 (a bounded-degree expander stays an expander). *)
+
+val exp : Exp.t

@@ -1,0 +1,89 @@
+module Table = Xheal_metrics.Table
+module Dist = Xheal_distributed.Dist_repair
+module Gen = Xheal_graph.Generators
+module Cost = Xheal_core.Cost
+
+let run ~quick =
+  let sizes = if quick then [ 8; 16; 32; 64 ] else [ 8; 16; 32; 64; 128; 256; 512 ] in
+  let d = 2 in
+  let ok = ref true in
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Exp.seeded (71 + n) in
+        let build = Dist.primary_build ~rng ~d ~neighbors:(List.init n (fun i -> i)) in
+        let union = Gen.random_h_graph ~rng (max 3 n) d in
+        let comb = Dist.combine ~rng ~d ~union ~initiator:0 in
+        let budget = (4.0 *. Common.log2f n) +. 8.0 in
+        ok :=
+          !ok
+          && float_of_int build.Dist.rounds <= budget
+          && float_of_int comb.Dist.rounds <= budget;
+        [
+          string_of_int n;
+          string_of_int build.Dist.rounds;
+          string_of_int comb.Dist.rounds;
+          Common.f ~d:1 (Common.log2f n);
+          string_of_int build.Dist.messages;
+          string_of_int comb.Dist.messages;
+          string_of_int build.Dist.words;
+        ])
+      sizes
+  in
+  (* Engine-level check, two ways: (a) the engine's closed-form accounting
+     over a real attack; (b) replaying every deletion's recorded repair
+     operations as actual protocols on the simulator. *)
+  let n0 = if quick then 48 else 128 in
+  let rng = Exp.seeded 79 in
+  let initial = Workloads.initial ~rng (`Regular (n0, 4)) in
+  let atk = Exp.seeded 80 in
+  let eng = Xheal_core.Xheal.create ~rng initial in
+  let replay_rng = Exp.seeded 81 in
+  let max_replayed = ref 0 and max_accounted = ref 0 in
+  let deletions = n0 / 2 in
+  for _ = 1 to deletions do
+    let g = Xheal_core.Xheal.graph eng in
+    let nodes = Xheal_graph.Graph.nodes g in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal_core.Xheal.delete eng v;
+    let replayed =
+      Xheal_distributed.Replay.deletion ~rng:replay_rng ~d:2 (Xheal_core.Xheal.last_ops eng)
+    in
+    if replayed.Dist.rounds > !max_replayed then max_replayed := replayed.Dist.rounds;
+    match Xheal_core.Xheal.last_report eng with
+    | Some r -> if r.Cost.rounds > !max_accounted then max_accounted := r.Cost.rounds
+    | None -> ()
+  done;
+  let budget = (6.0 *. Common.log2f n0) +. 12.0 in
+  ok :=
+    !ok
+    && float_of_int !max_accounted <= budget
+    && float_of_int !max_replayed <= budget;
+  let table =
+    Table.render
+      ~header:
+        [ "n"; "case-1 rounds"; "combine rounds"; "log2 n"; "case-1 msgs"; "combine msgs"; "case-1 words" ]
+      rows
+  in
+  {
+    Exp.table;
+    notes =
+      [
+        Exp.note_verdict !ok "measured protocol rounds scale with log2(n), not n";
+        Printf.sprintf
+          "engine run (n=%d, %d random deletions): worst per-deletion rounds = %d accounted, %d protocol-replayed (log2 n = %s)"
+          n0 deletions !max_accounted !max_replayed
+          (Common.f ~d:1 (Common.log2f n0));
+        "protocol rounds measured on the synchronous LOCAL-model simulator (election + build; BFS-echo + build)";
+        "words = CONGEST payload volume; the leader's Victory/Edges lists dominate, as the paper's conclusion anticipates";
+      ];
+    ok = !ok;
+  }
+
+let exp =
+  {
+    Exp.id = "E6";
+    title = "Recovery time per deletion";
+    claim = "Xheal repairs run in O(log n) rounds per deletion (Thm 5)";
+    run = (fun ~quick -> run ~quick);
+  }

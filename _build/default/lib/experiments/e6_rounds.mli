@@ -1,0 +1,5 @@
+(** E6: recovery time — repairs complete in [O(log n)] rounds
+    (Theorem 5), measured by running the actual protocols on the
+    synchronous simulator. *)
+
+val exp : Exp.t

@@ -1,0 +1,4 @@
+(** E7: amortized message complexity — within [O(κ log n)] of Lemma 5's
+    [A(p)] lower bound (Theorem 5). *)
+
+val exp : Exp.t

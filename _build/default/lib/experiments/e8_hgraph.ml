@@ -1,0 +1,88 @@
+module Table = Xheal_metrics.Table
+module Hgraph = Xheal_expander.Hgraph
+module Verify = Xheal_expander.Verify
+
+let run ~quick =
+  let sizes = if quick then [ 16; 64 ] else [ 16; 64; 256; 512 ] in
+  let degrees = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let trials = if quick then 2 else 4 in
+  let ok = ref true in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun d ->
+            let rng = Exp.seeded ((101 * n) + d) in
+            let reports =
+              List.init trials (fun _ ->
+                  let h = Hgraph.create ~rng ~d (List.init n (fun i -> i)) in
+                  Verify.inspect h)
+            in
+            let lambda2s = List.map (fun r -> r.Verify.lambda2) reports in
+            let sweeps = List.map (fun r -> r.Verify.sweep_expansion) reports in
+            let all_connected = List.for_all (fun r -> r.Verify.connected) reports in
+            let churn_ok =
+              Verify.expansion_survives_churn ~rng ~n ~d ~steps:(2 * n)
+                ~min_lambda2:(if d >= 2 then 0.3 else 0.0)
+            in
+            if d >= 2 then ok := !ok && all_connected && Common.mean lambda2s >= 0.3 && churn_ok;
+            [
+              string_of_int n;
+              string_of_int (2 * d);
+              Common.f (Common.mean lambda2s);
+              Common.f (Common.mean sweeps);
+              (if all_connected then "yes" else "NO");
+              (if churn_ok then "yes" else "NO");
+            ])
+          degrees)
+      sizes
+  in
+  (* Deterministic comparison point: the Margulis/Gabber–Galil expander
+     at matched sizes. The paper uses randomized H-graphs because no
+     dynamic deterministic construction is known; this quantifies how
+     close the random construction gets to the classic static one. *)
+  let det_rows =
+    List.filter_map
+      (fun n ->
+        let m = int_of_float (Float.round (sqrt (float_of_int n))) in
+        if m * m < 9 then None
+        else begin
+          let g = Xheal_graph.Generators.margulis m in
+          let s = Xheal_linalg.Spectral.analyze g in
+          Some
+            [
+              string_of_int (m * m);
+              "margulis(det)";
+              Common.f s.Xheal_linalg.Spectral.lambda2;
+              Common.f (Xheal_graph.Cuts.sweep_expansion g ~scores:s.Xheal_linalg.Spectral.fiedler);
+              "yes";
+              "static";
+            ]
+        end)
+      sizes
+  in
+  let table =
+    Table.render
+      ~header:[ "n"; "kappa=2d"; "mean l2"; "mean sweep h"; "connected"; "churn survives" ]
+      (rows @ det_rows)
+  in
+  {
+    Exp.table;
+    notes =
+      [
+        Exp.note_verdict !ok
+          "for d >= 2 every sampled H-graph is a connected expander and stays one under 2n churn ops";
+        "expansion/lambda2 grow with d, matching Theorem 4's Omega(d) edge expansion";
+        "churn applies Law-Siu INSERT/DELETE, which Theorem 3 shows preserves the uniform H-graph law";
+        "margulis rows: the deterministic 8-regular Gabber-Galil expander at matched sizes — the static construction the paper wishes existed dynamically";
+      ];
+    ok = !ok;
+  }
+
+let exp =
+  {
+    Exp.id = "E8";
+    title = "Law-Siu H-graphs are (and stay) expanders";
+    claim = "a random 2d-regular H-graph has expansion Omega(d) w.h.p., preserved by INSERT/DELETE (Thms 3-4)";
+    run = (fun ~quick -> run ~quick);
+  }

@@ -1,0 +1,5 @@
+(** E8: random H-graphs are expanders w.h.p., with expansion growing in
+    [d], and stay so under INSERT/DELETE churn (Theorems 3–4, quoting
+    Law–Siu and Friedman). *)
+
+val exp : Exp.t

@@ -1,0 +1,96 @@
+module Table = Xheal_metrics.Table
+module Graph = Xheal_graph.Graph
+module Traversal = Xheal_graph.Traversal
+module Driver = Xheal_adversary.Driver
+module Strategy = Xheal_adversary.Strategy
+module Healer = Xheal_core.Healer
+
+(* Deletions applied before the first partition (capped at n - 4: at
+   that point the attack budget is exhausted and the network "won"). *)
+let survival ~factory ~initial ~make_attack ~seed =
+  let rng = Exp.seeded seed in
+  let g0 = initial ~rng in
+  let n0 = Graph.num_nodes g0 in
+  let driver = Driver.init factory ~rng g0 in
+  let atk = Exp.seeded (seed + 1) in
+  let strategy = make_attack atk in
+  let cap = n0 - 4 in
+  let deaths = ref 0 and partitioned = ref false in
+  while (not !partitioned) && !deaths < cap do
+    match strategy.Strategy.next (Driver.graph driver) with
+    | None -> deaths := cap
+    | Some e ->
+      Driver.apply driver e;
+      incr deaths;
+      if not (Traversal.is_connected (Driver.graph driver)) then partitioned := true
+  done;
+  (!deaths, !partitioned, n0)
+
+let run ~quick =
+  let n = if quick then 40 else 96 in
+  let sparse ~rng = Workloads.initial ~rng (`Er (n, 2.5 /. float_of_int n)) in
+  let attacks =
+    [
+      ("hub", fun rng -> Strategy.hub_delete ~rng ());
+      ("cutpoint", fun rng -> Strategy.cutpoint_delete ~rng ());
+      ("random", fun rng -> Strategy.random_delete ~rng ());
+    ]
+  in
+  let healers =
+    [
+      Xheal_baselines.Baselines.no_heal;
+      Xheal_baselines.Baselines.line_heal;
+      Xheal_baselines.Baselines.tree_heal;
+      Xheal_baselines.Baselines.xheal ();
+    ]
+  in
+  let ok = ref true in
+  let rows =
+    List.concat_map
+      (fun (attack_name, make_attack) ->
+        List.map
+          (fun factory ->
+            let deaths, partitioned, n0 =
+              survival ~factory ~initial:sparse ~make_attack ~seed:131
+            in
+            let label = factory.Healer.label in
+            if String.starts_with ~prefix:"xheal" label then ok := !ok && not partitioned;
+            (* Unhealed: always partitions; near-instantly under the
+               targeted attacks. *)
+            if label = "no-heal" then begin
+              ok := !ok && partitioned;
+              if attack_name <> "random" then ok := !ok && deaths <= n0 / 4
+            end;
+            [
+              attack_name;
+              label;
+              string_of_int n0;
+              string_of_int deaths;
+              (if partitioned then "PARTITIONED" else "survived all");
+            ])
+          healers)
+      attacks
+  in
+  let table =
+    Table.render ~header:[ "attack"; "healer"; "n0"; "deletions sustained"; "outcome" ] rows
+  in
+  {
+    Exp.table;
+    notes =
+      [
+        Exp.note_verdict !ok
+          "Xheal never partitions under any attack; no-heal dies within the first quarter of the attack";
+        "sparse ER start (mean degree 2.5) - the regime where unhealed networks shatter immediately";
+        "a repair strategy 'survives all' when the adversary runs out of legal moves (n drops to 4)";
+      ];
+    ok = !ok;
+  }
+
+let exp =
+  {
+    Exp.id = "E9";
+    title = "Survival: deletions until first partition";
+    claim =
+      "self-healing keeps the network connected for the entire attack; an unhealed network partitions almost immediately (Sec. 1 motivation)";
+    run = (fun ~quick -> run ~quick);
+  }

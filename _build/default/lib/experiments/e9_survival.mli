@@ -1,0 +1,5 @@
+(** E9 (beyond the paper's tables): time-to-partition under sustained
+    attack — the operational motivation of Section 1 (the Skype outage):
+    how many adversarial deletions until the network disconnects? *)
+
+val exp : Exp.t

@@ -1,0 +1,24 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : quick:bool -> result;
+}
+
+and result = {
+  table : string;
+  notes : string list;
+  ok : bool;
+}
+
+let seeded i = Random.State.make [| 0xbeef; i |]
+
+let note_verdict ok s = (if ok then "PASS: " else "FAIL: ") ^ s
+
+let render t r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (Printf.sprintf "claim: %s\n\n" t.claim);
+  Buffer.add_string buf r.table;
+  List.iter (fun n -> Buffer.add_string buf ("  * " ^ n ^ "\n")) r.notes;
+  Buffer.contents buf

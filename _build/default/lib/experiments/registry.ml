@@ -1,0 +1,34 @@
+let all =
+  [
+    E1_expansion.exp;
+    E2_star.exp;
+    E3_degree.exp;
+    E4_stretch.exp;
+    E5_spectral.exp;
+    E6_rounds.exp;
+    E7_messages.exp;
+    E8_hgraph.exp;
+    E9_survival.exp;
+    E10_timeline.exp;
+    E11_routing.exp;
+    A1_secondary.exp;
+    A2_rebuild.exp;
+    A3_batch.exp;
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.Exp.id = id) all
+
+let run_all ?(quick = false) ?ids ~out () =
+  let selected =
+    match ids with
+    | None -> all
+    | Some ids -> List.filter_map find ids
+  in
+  List.fold_left
+    (fun acc e ->
+      let r = e.Exp.run ~quick in
+      out (Exp.render e r);
+      acc && r.Exp.ok)
+    true selected

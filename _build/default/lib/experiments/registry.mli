@@ -1,0 +1,10 @@
+(** All experiments, in DESIGN.md §4 order. *)
+
+val all : Exp.t list
+
+val find : string -> Exp.t option
+(** Case-insensitive lookup by id ("E1" … "A2"). *)
+
+val run_all : ?quick:bool -> ?ids:string list -> out:(string -> unit) -> unit -> bool
+(** Runs (a subset of) the experiments, streaming rendered reports to
+    [out]. Returns [true] iff every executed experiment's claim held. *)

@@ -1,0 +1,1 @@
+lib/graph/cuts.ml: Array Edge Float Graph Hashtbl Int List Printf

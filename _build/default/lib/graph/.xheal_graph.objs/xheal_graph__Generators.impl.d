@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Edge Graph Hashtbl Option Queue Random Traversal

@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Format Graph Hashtbl Int List Option Traversal

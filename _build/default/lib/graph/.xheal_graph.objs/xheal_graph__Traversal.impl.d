@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Graph Hashtbl Int List Queue

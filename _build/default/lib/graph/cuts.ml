@@ -1,0 +1,162 @@
+let cut_size g set =
+  let inside = Hashtbl.create (List.length set) in
+  List.iter (fun u -> Hashtbl.replace inside u ()) set;
+  Graph.fold_edges
+    (fun e acc ->
+      let a = Hashtbl.mem inside (Edge.src e) and b = Hashtbl.mem inside (Edge.dst e) in
+      if a <> b then acc + 1 else acc)
+    g 0
+
+(* Shared enumeration core: folds [f acc ~cut ~size ~vol ~mask] over every
+   non-empty proper subset (represented by bitmask over the sorted node
+   array). Cut sizes are computed per mask from a precomputed edge array of
+   index pairs; volumes from a degree array. *)
+let enumerate g f init =
+  let ns = Array.of_list (Graph.nodes g) in
+  let n = Array.length ns in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i u -> Hashtbl.replace index u i) ns;
+  let edges =
+    Array.of_list
+      (List.map
+         (fun e -> (Hashtbl.find index (Edge.src e), Hashtbl.find index (Edge.dst e)))
+         (Graph.edges g))
+  in
+  let deg = Array.map (fun u -> Graph.degree g u) ns in
+  let acc = ref init in
+  for mask = 1 to (1 lsl n) - 2 do
+    let size = ref 0 and vol = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        vol := !vol + deg.(i)
+      end
+    done;
+    let cut = ref 0 in
+    Array.iter
+      (fun (i, j) ->
+        if mask land (1 lsl i) <> 0 <> (mask land (1 lsl j) <> 0) then incr cut)
+      edges;
+    acc := f !acc ~cut:!cut ~size:!size ~vol:!vol ~mask
+  done;
+  (!acc, ns, n)
+
+let check_small ?(max_nodes = 22) g name =
+  let n = Graph.num_nodes g in
+  if n > max_nodes then
+    invalid_arg (Printf.sprintf "Cuts.%s: graph has %d nodes (> %d)" name n max_nodes)
+
+let exact_expansion ?max_nodes g =
+  check_small ?max_nodes g "exact_expansion";
+  let n = Graph.num_nodes g in
+  if n < 2 then infinity
+  else
+    let best, _, _ =
+      enumerate g
+        (fun acc ~cut ~size ~vol:_ ~mask:_ ->
+          if 2 * size <= n then min acc (float_of_int cut /. float_of_int size) else acc)
+        infinity
+    in
+    best
+
+let exact_conductance ?max_nodes g =
+  check_small ?max_nodes g "exact_conductance";
+  let n = Graph.num_nodes g in
+  if n < 2 then infinity
+  else
+    let total_vol = 2 * Graph.num_edges g in
+    let best, _, _ =
+      enumerate g
+        (fun acc ~cut ~size:_ ~vol ~mask:_ ->
+          let denom = min vol (total_vol - vol) in
+          (* A zero-volume side implies a zero cut: a free cut, i.e. the
+             graph is disconnected and its conductance is 0 (matching the
+             normalized Laplacian's second zero eigenvalue). *)
+          if denom > 0 then min acc (float_of_int cut /. float_of_int denom) else min acc 0.0)
+        infinity
+    in
+    best
+
+let exact_best_cut ?max_nodes g =
+  check_small ?max_nodes g "exact_best_cut";
+  let n = Graph.num_nodes g in
+  if n < 2 then ([], infinity)
+  else
+    let (best, best_mask), ns, nn =
+      enumerate g
+        (fun ((b, _) as acc) ~cut ~size ~vol:_ ~mask ->
+          if 2 * size <= n then begin
+            let h = float_of_int cut /. float_of_int size in
+            if h < b then (h, mask) else acc
+          end
+          else acc)
+        (infinity, 0)
+    in
+    let set = ref [] in
+    for i = nn - 1 downto 0 do
+      if best_mask land (1 lsl i) <> 0 then set := ns.(i) :: !set
+    done;
+    (!set, best)
+
+(* Sweep machinery: nodes sorted by score; maintain the running cut value
+   as nodes cross into S: adding u changes the cut by deg(u) minus twice
+   its already-inside neighbours. *)
+let sweep g ~scores f init =
+  let ns = Array.of_list (Graph.nodes g) in
+  let n = Array.length ns in
+  if n < 2 then init
+  else begin
+    Array.sort
+      (fun u v ->
+        let c = Float.compare (scores u) (scores v) in
+        if c <> 0 then c else Int.compare u v)
+      ns;
+    let inside = Hashtbl.create n in
+    let cut = ref 0 and vol = ref 0 in
+    let acc = ref init in
+    for k = 0 to n - 2 do
+      let u = ns.(k) in
+      let inside_nbrs = Graph.fold_neighbors g u (fun v c -> if Hashtbl.mem inside v then c + 1 else c) 0 in
+      cut := !cut + Graph.degree g u - (2 * inside_nbrs);
+      vol := !vol + Graph.degree g u;
+      Hashtbl.replace inside u ();
+      acc := f !acc ~cut:!cut ~size:(k + 1) ~vol:!vol ~prefix:(ns, k + 1)
+    done;
+    !acc
+  end
+
+let sweep_expansion g ~scores =
+  let n = Graph.num_nodes g in
+  if n < 2 then infinity
+  else
+    sweep g ~scores
+      (fun acc ~cut ~size ~vol:_ ~prefix:_ ->
+        let side = min size (n - size) in
+        min acc (float_of_int cut /. float_of_int side))
+      infinity
+
+let sweep_conductance g ~scores =
+  let total_vol = 2 * Graph.num_edges g in
+  if Graph.num_nodes g < 2 || total_vol = 0 then infinity
+  else
+    sweep g ~scores
+      (fun acc ~cut ~size:_ ~vol ~prefix:_ ->
+        let denom = min vol (total_vol - vol) in
+        if denom > 0 then min acc (float_of_int cut /. float_of_int denom) else min acc 0.0)
+      infinity
+
+let sweep_best_cut g ~scores =
+  let n = Graph.num_nodes g in
+  if n < 2 then ([], infinity)
+  else
+    let best, witness =
+      sweep g ~scores
+        (fun ((b, _) as acc) ~cut ~size ~vol:_ ~prefix:(ns, k) ->
+          let side = min size (n - size) in
+          let h = float_of_int cut /. float_of_int side in
+          if h < b then (h, Some (Array.sub ns 0 k)) else acc)
+        (infinity, None)
+    in
+    match witness with
+    | None -> ([], best)
+    | Some a -> (List.sort Int.compare (Array.to_list a), best)

@@ -1,0 +1,19 @@
+(** Graphviz DOT export, for inspecting healed topologies. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(Edge.t -> (string * string) list) ->
+  Graph.t ->
+  string
+(** Renders the graph in DOT syntax. Attribute callbacks return
+    [key, value] pairs attached to each node / edge; values are quoted. *)
+
+val write_file :
+  ?name:string ->
+  ?node_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(Edge.t -> (string * string) list) ->
+  string ->
+  Graph.t ->
+  unit
+(** [write_file path g] writes {!to_dot} output to [path]. *)

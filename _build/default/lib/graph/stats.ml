@@ -1,0 +1,42 @@
+type summary = {
+  n : int;
+  m : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  components : int;
+  connected : bool;
+}
+
+let mean_degree g =
+  let n = Graph.num_nodes g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.num_edges g) /. float_of_int n
+
+let summary g =
+  let comps = Traversal.num_components g in
+  {
+    n = Graph.num_nodes g;
+    m = Graph.num_edges g;
+    min_degree = Graph.min_degree g;
+    max_degree = Graph.max_degree g;
+    mean_degree = mean_degree g;
+    components = comps;
+    connected = comps <= 1;
+  }
+
+let degree_of_each g =
+  List.map (fun u -> (u, Graph.degree g u)) (Graph.nodes g)
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  Graph.iter_nodes
+    (fun u ->
+      let d = Graph.degree g u in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    g;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d m=%d deg=[%d..%d] mean=%.2f comps=%d%s" s.n s.m s.min_degree
+    s.max_degree s.mean_degree s.components
+    (if s.connected then " connected" else " DISCONNECTED")

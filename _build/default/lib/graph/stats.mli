@@ -1,0 +1,23 @@
+(** Degree profiles and simple summary statistics over graphs. *)
+
+type summary = {
+  n : int;  (** node count *)
+  m : int;  (** edge count *)
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  components : int;
+  connected : bool;
+}
+
+val summary : Graph.t -> summary
+
+val degree_histogram : Graph.t -> (int * int) list
+(** Sorted [(degree, count)] pairs. *)
+
+val degree_of_each : Graph.t -> (int * int) list
+(** Sorted [(node, degree)] pairs. *)
+
+val mean_degree : Graph.t -> float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,151 @@
+let bfs_with_parents g s =
+  let dist = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  if Graph.has_node g s then begin
+    let q = Queue.create () in
+    Hashtbl.replace dist s 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let du = Hashtbl.find dist u in
+      Graph.iter_neighbors g u (fun v ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (du + 1);
+            Hashtbl.replace parent v u;
+            Queue.add v q
+          end)
+    done
+  end;
+  (dist, parent)
+
+let bfs_distances g s = fst (bfs_with_parents g s)
+
+let distance g s t =
+  if not (Graph.has_node g s && Graph.has_node g t) then None
+  else Hashtbl.find_opt (bfs_distances g s) t
+
+let shortest_path g s t =
+  if not (Graph.has_node g s && Graph.has_node g t) then None
+  else
+    let dist, parent = bfs_with_parents g s in
+    if not (Hashtbl.mem dist t) then None
+    else
+      let rec walk u acc =
+        if u = s then s :: acc else walk (Hashtbl.find parent u) (u :: acc)
+      in
+      Some (walk t [])
+
+let component_of g s =
+  let dist = bfs_distances g s in
+  List.sort Int.compare (Hashtbl.fold (fun u _ acc -> u :: acc) dist [])
+
+let components g =
+  let seen = Hashtbl.create (Graph.num_nodes g) in
+  let comps =
+    List.filter_map
+      (fun u ->
+        if Hashtbl.mem seen u then None
+        else begin
+          let comp = component_of g u in
+          List.iter (fun v -> Hashtbl.replace seen v ()) comp;
+          Some comp
+        end)
+      (Graph.nodes g)
+  in
+  comps
+
+let num_components g = List.length (components g)
+
+let is_connected g =
+  match Graph.nodes g with
+  | [] -> true
+  | s :: _ -> List.length (component_of g s) = Graph.num_nodes g
+
+let eccentricity g s =
+  if not (Graph.has_node g s) then None
+  else
+    let dist = bfs_distances g s in
+    if Hashtbl.length dist <> Graph.num_nodes g then None
+    else Some (Hashtbl.fold (fun _ d acc -> max d acc) dist 0)
+
+let diameter g =
+  match Graph.nodes g with
+  | [] -> None
+  | ns ->
+    List.fold_left
+      (fun acc s ->
+        match (acc, eccentricity g s) with
+        | Some best, Some e -> Some (max best e)
+        | _, None | None, _ -> None)
+      (Some 0) ns
+
+(* Tarjan low-link articulation points, iterative to survive deep graphs. *)
+let articulation_points g =
+  let disc = Hashtbl.create 64 and low = Hashtbl.create 64 in
+  let cut = Hashtbl.create 16 in
+  let timer = ref 0 in
+  let visit_root root =
+    if not (Hashtbl.mem disc root) then begin
+      (* Stack frames: (node, parent, remaining sorted neighbours). *)
+      let stack = ref [ (root, -1, ref (Graph.neighbors g root)) ] in
+      Hashtbl.replace disc root !timer;
+      Hashtbl.replace low root !timer;
+      incr timer;
+      let root_children = ref 0 in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, parent, rest) :: tl -> (
+          match !rest with
+          | [] ->
+            stack := tl;
+            (match tl with
+            | (p, _, _) :: _ ->
+              let lu = Hashtbl.find low u in
+              if lu < Hashtbl.find low p then Hashtbl.replace low p lu;
+              if p <> root && Hashtbl.find low u >= Hashtbl.find disc p then
+                Hashtbl.replace cut p ()
+            | [] -> ())
+          | v :: vs ->
+            rest := vs;
+            if v = parent then ()
+            else if Hashtbl.mem disc v then begin
+              let dv = Hashtbl.find disc v in
+              if dv < Hashtbl.find low u then Hashtbl.replace low u dv
+            end
+            else begin
+              if u = root then incr root_children;
+              Hashtbl.replace disc v !timer;
+              Hashtbl.replace low v !timer;
+              incr timer;
+              stack := (v, u, ref (Graph.neighbors g v)) :: !stack
+            end)
+      done;
+      if !root_children >= 2 then Hashtbl.replace cut root ()
+    end
+  in
+  List.iter visit_root (Graph.nodes g);
+  List.sort Int.compare (Hashtbl.fold (fun u () acc -> u :: acc) cut [])
+
+let dfs_order g s =
+  if not (Graph.has_node g s) then []
+  else begin
+    let seen = Hashtbl.create 64 in
+    let order = ref [] in
+    let rec go u =
+      if not (Hashtbl.mem seen u) then begin
+        Hashtbl.replace seen u ();
+        order := u :: !order;
+        List.iter go (Graph.neighbors g u)
+      end
+    in
+    go s;
+    List.rev !order
+  end
+
+let spanning_bfs_tree g root =
+  let _, parent = bfs_with_parents g root in
+  let t = Graph.create () in
+  Graph.add_node t root;
+  Hashtbl.iter (fun v u -> ignore (Graph.add_edge t u v)) parent;
+  t

@@ -1,0 +1,1 @@
+lib/linalg/dense.mli: Format Vec

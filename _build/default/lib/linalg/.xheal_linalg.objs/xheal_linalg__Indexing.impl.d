@@ -1,0 +1,1 @@
+lib/linalg/indexing.ml: Array Hashtbl Int List Xheal_graph

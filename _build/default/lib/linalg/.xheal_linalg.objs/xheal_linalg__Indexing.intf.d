@@ -1,0 +1,1 @@
+lib/linalg/indexing.mli: Vec Xheal_graph

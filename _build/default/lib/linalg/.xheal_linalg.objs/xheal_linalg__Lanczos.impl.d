@@ -1,0 +1,1 @@
+lib/linalg/lanczos.ml: Array Dense Float Jacobi List Operator Vec

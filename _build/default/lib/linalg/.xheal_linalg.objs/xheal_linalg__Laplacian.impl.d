@@ -1,0 +1,1 @@
+lib/linalg/laplacian.ml: Array Indexing List Sparse Xheal_graph

@@ -1,0 +1,1 @@
+lib/linalg/laplacian.mli: Dense Indexing Sparse Xheal_graph

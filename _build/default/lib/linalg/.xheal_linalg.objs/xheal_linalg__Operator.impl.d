@@ -1,0 +1,1 @@
+lib/linalg/operator.ml: Array Dense List Sparse Vec

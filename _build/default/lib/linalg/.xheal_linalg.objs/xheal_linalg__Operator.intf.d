@@ -1,0 +1,1 @@
+lib/linalg/operator.mli: Dense Sparse Vec

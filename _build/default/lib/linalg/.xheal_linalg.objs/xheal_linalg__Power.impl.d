@@ -1,0 +1,1 @@
+lib/linalg/power.ml: Float List Operator Vec

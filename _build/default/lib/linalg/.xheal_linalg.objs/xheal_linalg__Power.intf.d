@@ -1,0 +1,1 @@
+lib/linalg/power.mli: Operator Random Vec

@@ -1,0 +1,1 @@
+lib/linalg/randwalk.ml: Array Float Indexing List Vec Xheal_graph

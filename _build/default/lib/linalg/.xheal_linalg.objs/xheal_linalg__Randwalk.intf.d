@@ -1,0 +1,1 @@
+lib/linalg/randwalk.mli: Indexing Vec Xheal_graph

@@ -1,0 +1,1 @@
+lib/linalg/sparse.ml: Array Dense Hashtbl Int List Option Vec

@@ -1,0 +1,1 @@
+lib/linalg/spectral.ml: Array Float Hashtbl Indexing Jacobi Lanczos Laplacian List Operator Power Random Sparse Vec Xheal_graph

@@ -1,0 +1,1 @@
+lib/linalg/spectral.mli: Random Xheal_graph

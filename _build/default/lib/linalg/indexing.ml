@@ -1,0 +1,24 @@
+type t = { fwd : (int, int) Hashtbl.t; bwd : int array }
+
+let of_nodes ns =
+  let sorted = List.sort_uniq Int.compare ns in
+  let bwd = Array.of_list sorted in
+  let fwd = Hashtbl.create (Array.length bwd) in
+  Array.iteri (fun i u -> Hashtbl.replace fwd u i) bwd;
+  { fwd; bwd }
+
+let of_graph g = of_nodes (Xheal_graph.Graph.nodes g)
+
+let size t = Array.length t.bwd
+
+let index t u = Hashtbl.find t.fwd u
+
+let index_opt t u = Hashtbl.find_opt t.fwd u
+
+let node t i =
+  if i < 0 || i >= Array.length t.bwd then invalid_arg "Indexing.node: out of range";
+  t.bwd.(i)
+
+let nodes t = Array.copy t.bwd
+
+let score_fn t v u = v.(index t u)

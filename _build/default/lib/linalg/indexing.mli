@@ -1,0 +1,29 @@
+(** Bijection between a graph's (arbitrary integer) node identifiers and
+    the dense index range [0 .. n-1] used by matrices and vectors. *)
+
+type t
+
+val of_graph : Xheal_graph.Graph.t -> t
+(** Nodes are assigned indices in increasing identifier order, so the
+    mapping is deterministic. *)
+
+val of_nodes : int list -> t
+(** From an explicit node list (deduplicated, sorted). *)
+
+val size : t -> int
+
+val index : t -> int -> int
+(** Dense index of a node. @raise Not_found if the node is unknown. *)
+
+val index_opt : t -> int -> int option
+
+val node : t -> int -> int
+(** Node identifier at a dense index. @raise Invalid_argument if out of
+    range. *)
+
+val nodes : t -> int array
+(** The identifier array, position [i] holding the node with index [i]. *)
+
+val score_fn : t -> Vec.t -> int -> float
+(** [score_fn ix v] views a dense vector as a per-node score function
+    (e.g. to feed {!Xheal_graph.Cuts.sweep_expansion}). *)

@@ -1,0 +1,24 @@
+(** Cyclic Jacobi eigensolver for dense symmetric matrices. Robust and
+    exact enough for matrices up to a few hundred rows; larger spectra go
+    through {!Lanczos}. *)
+
+type result = {
+  values : float array;  (** Eigenvalues in ascending order. *)
+  vectors : Dense.t;  (** Column [k] is the unit eigenvector of [values.(k)]. *)
+}
+
+val eigensystem : ?tol:float -> ?max_sweeps:int -> Dense.t -> result
+(** Full eigendecomposition of a symmetric matrix. [tol] bounds the
+    off-diagonal Frobenius norm at convergence (default [1e-10] scaled by
+    the matrix norm); [max_sweeps] defaults to 100.
+    @raise Invalid_argument if the matrix is not symmetric. *)
+
+val eigenvalues : ?tol:float -> ?max_sweeps:int -> Dense.t -> float array
+(** Ascending eigenvalues only. *)
+
+val eigenvector : result -> int -> Vec.t
+(** Extracts column [k] of {!field-vectors} as a vector. *)
+
+val residual : Dense.t -> float -> Vec.t -> float
+(** [residual a lambda v] is [‖Av - lambda v‖], a correctness check used
+    by the tests. *)

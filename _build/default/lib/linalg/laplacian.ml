@@ -1,0 +1,62 @@
+module G = Xheal_graph.Graph
+module E = Xheal_graph.Edge
+
+let entries_of_graph ix g weight =
+  G.fold_edges
+    (fun e acc ->
+      let i = Indexing.index ix (E.src e) and j = Indexing.index ix (E.dst e) in
+      let w = weight i j in
+      (i, j, w) :: (j, i, w) :: acc)
+    g []
+
+let sparse g =
+  let ix = Indexing.of_graph g in
+  let n = Indexing.size ix in
+  let off = entries_of_graph ix g (fun _ _ -> -1.0) in
+  let diag =
+    List.init n (fun i -> (i, i, float_of_int (G.degree g (Indexing.node ix i))))
+  in
+  (ix, Sparse.of_entries n (diag @ off))
+
+let dense g =
+  let ix, sp = sparse g in
+  (ix, Sparse.to_dense sp)
+
+let normalized_sparse g =
+  let ix = Indexing.of_graph g in
+  let n = Indexing.size ix in
+  let invsqrt =
+    Array.init n (fun i ->
+        let d = G.degree g (Indexing.node ix i) in
+        if d = 0 then 0.0 else 1.0 /. sqrt (float_of_int d))
+  in
+  let off = entries_of_graph ix g (fun i j -> -.(invsqrt.(i) *. invsqrt.(j))) in
+  let diag =
+    List.init n (fun i ->
+        let d = G.degree g (Indexing.node ix i) in
+        (i, i, if d = 0 then 0.0 else 1.0))
+  in
+  (ix, Sparse.of_entries n (diag @ off))
+
+let adjacency_sparse g =
+  let ix = Indexing.of_graph g in
+  let n = Indexing.size ix in
+  (ix, Sparse.of_entries n (entries_of_graph ix g (fun _ _ -> 1.0)))
+
+let lazy_walk_sparse g =
+  let ix = Indexing.of_graph g in
+  let n = Indexing.size ix in
+  let inv_deg =
+    Array.init n (fun i ->
+        let d = G.degree g (Indexing.node ix i) in
+        if d = 0 then 0.0 else 1.0 /. float_of_int d)
+  in
+  let off =
+    G.fold_edges
+      (fun e acc ->
+        let i = Indexing.index ix (E.src e) and j = Indexing.index ix (E.dst e) in
+        (i, j, 0.5 *. inv_deg.(i)) :: (j, i, 0.5 *. inv_deg.(j)) :: acc)
+      g []
+  in
+  let diag = List.init n (fun i -> (i, i, 0.5 +. (if inv_deg.(i) = 0.0 then 0.5 else 0.0))) in
+  (ix, Sparse.of_entries n (diag @ off))

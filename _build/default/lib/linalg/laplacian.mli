@@ -1,0 +1,17 @@
+(** Graph Laplacians. For a graph [G] with adjacency [A] and degree
+    matrix [D], the combinatorial Laplacian is [L = D - A]; the
+    symmetrically normalized Laplacian is [I - D^{-1/2} A D^{-1/2}]
+    (isolated nodes contribute a zero row). *)
+
+val sparse : Xheal_graph.Graph.t -> Indexing.t * Sparse.t
+(** Combinatorial Laplacian, with the node indexing used to build it. *)
+
+val dense : Xheal_graph.Graph.t -> Indexing.t * Dense.t
+
+val normalized_sparse : Xheal_graph.Graph.t -> Indexing.t * Sparse.t
+
+val adjacency_sparse : Xheal_graph.Graph.t -> Indexing.t * Sparse.t
+
+val lazy_walk_sparse : Xheal_graph.Graph.t -> Indexing.t * Sparse.t
+(** Lazy random-walk operator [(I + D^{-1} A) / 2] (row-stochastic; not
+    symmetric in general). *)

@@ -1,0 +1,26 @@
+let largest ~rng ?(iters = 10_000) ?(tol = 1e-10) ?(orth = []) (op : Operator.t) =
+  let n = op.Operator.dim in
+  let project x = List.iter (fun v -> Vec.project_out v ~from:x) orth in
+  let x = Vec.random_unit ~rng n in
+  project x;
+  let x = ref (Vec.normalize x) in
+  let lambda = ref 0.0 in
+  let continue_ = ref true in
+  let k = ref 0 in
+  while !continue_ && !k < iters do
+    incr k;
+    let y = Operator.apply op !x in
+    project y;
+    let est = Vec.dot y !x in
+    let ny = Vec.norm2 y in
+    if ny < 1e-300 then begin
+      lambda := 0.0;
+      continue_ := false
+    end
+    else begin
+      x := Vec.scale (1.0 /. ny) y;
+      if Float.abs (est -. !lambda) <= tol *. Float.max 1.0 (Float.abs est) then continue_ := false;
+      lambda := est
+    end
+  done;
+  (!lambda, !x)

@@ -1,0 +1,15 @@
+(** Power iteration — the simplest extreme-eigenvalue solver, used as an
+    independent cross-check of {!Lanczos} and for cheap spectral-radius
+    estimates. *)
+
+val largest :
+  rng:Random.State.t ->
+  ?iters:int ->
+  ?tol:float ->
+  ?orth:Vec.t list ->
+  Operator.t ->
+  float * Vec.t
+(** Dominant eigenpair of a symmetric PSD operator (restricted to the
+    orthogonal complement of [orth]). Rayleigh-quotient estimate;
+    iterates until the estimate moves less than [tol] (default [1e-10])
+    or [iters] (default 10_000) is exhausted. *)

@@ -1,0 +1,93 @@
+type t = {
+  n : int;
+  row_ptr : int array; (* length n+1 *)
+  col : int array;
+  value : float array;
+}
+
+let dim a = a.n
+
+let nnz a = Array.length a.col
+
+let of_entries n entries =
+  (* Coalesce duplicates, then lay rows out contiguously. *)
+  let tbl = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Sparse.of_entries: index out of range";
+      let key = (i, j) in
+      Hashtbl.replace tbl key (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key)))
+    entries;
+  let per_row = Array.make n 0 in
+  Hashtbl.iter (fun (i, _) _ -> per_row.(i) <- per_row.(i) + 1) tbl;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + per_row.(i)
+  done;
+  let total = row_ptr.(n) in
+  let col = Array.make total 0 and value = Array.make total 0.0 in
+  let cursor = Array.copy row_ptr in
+  Hashtbl.iter
+    (fun (i, j) v ->
+      let k = cursor.(i) in
+      col.(k) <- j;
+      value.(k) <- v;
+      cursor.(i) <- k + 1)
+    tbl;
+  (* Sort each row by column for deterministic iteration. *)
+  for i = 0 to n - 1 do
+    let lo = row_ptr.(i) and hi = row_ptr.(i + 1) in
+    let idx = Array.init (hi - lo) (fun k -> (col.(lo + k), value.(lo + k))) in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) idx;
+    Array.iteri
+      (fun k (c, v) ->
+        col.(lo + k) <- c;
+        value.(lo + k) <- v)
+      idx
+  done;
+  { n; row_ptr; col; value }
+
+let of_symmetric_entries n entries =
+  let mirrored =
+    List.concat_map
+      (fun ((i, j, v) as e) -> if i = j then [ e ] else [ e; (j, i, v) ])
+      entries
+  in
+  of_entries n mirrored
+
+let matvec_into a x y =
+  if Array.length x <> a.n || Array.length y <> a.n then
+    invalid_arg "Sparse.matvec_into: dimension mismatch";
+  for i = 0 to a.n - 1 do
+    let s = ref 0.0 in
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      s := !s +. (a.value.(k) *. x.(a.col.(k)))
+    done;
+    y.(i) <- !s
+  done
+
+let matvec a x =
+  let y = Vec.create a.n in
+  matvec_into a x y;
+  y
+
+let iter f a =
+  for i = 0 to a.n - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      f i a.col.(k) a.value.(k)
+    done
+  done
+
+let to_dense a =
+  let d = Dense.create a.n in
+  iter (fun i j v -> d.(i).(j) <- d.(i).(j) +. v) a;
+  d
+
+let row_sums a =
+  let s = Vec.create a.n in
+  iter (fun i _ v -> s.(i) <- s.(i) +. v) a;
+  s
+
+let is_symmetric ?(tol = 1e-9) a =
+  let d = to_dense a in
+  Dense.is_symmetric ~tol d

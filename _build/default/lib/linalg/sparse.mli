@@ -1,0 +1,33 @@
+(** Immutable sparse symmetric matrices in compressed-row form, sized for
+    graph Laplacians and adjacency operators on a few thousand nodes. *)
+
+type t
+
+val dim : t -> int
+
+val nnz : t -> int
+(** Stored entries (both triangles counted). *)
+
+val of_entries : int -> (int * int * float) list -> t
+(** [of_entries n entries] builds an [n × n] matrix from coordinate
+    triples; duplicate coordinates are summed. Entries must already be
+    symmetric (the constructor does not mirror them); use
+    {!of_symmetric_entries} to mirror automatically. *)
+
+val of_symmetric_entries : int -> (int * int * float) list -> t
+(** Like {!of_entries} but each off-diagonal triple [(i, j, v)] also
+    contributes [(j, i, v)]. *)
+
+val matvec : t -> Vec.t -> Vec.t
+
+val matvec_into : t -> Vec.t -> Vec.t -> unit
+(** [matvec_into a x y] stores [A x] into [y] (no allocation). *)
+
+val to_dense : t -> Dense.t
+
+val row_sums : t -> Vec.t
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val iter : (int -> int -> float -> unit) -> t -> unit
+(** Iterates over stored entries [(row, col, value)]. *)

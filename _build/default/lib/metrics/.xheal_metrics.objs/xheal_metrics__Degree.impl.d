@@ -1,0 +1,1 @@
+lib/metrics/degree.ml: List Xheal_graph

@@ -1,0 +1,1 @@
+lib/metrics/degree.mli: Xheal_graph

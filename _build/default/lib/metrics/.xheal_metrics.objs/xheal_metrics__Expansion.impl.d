@@ -1,0 +1,1 @@
+lib/metrics/expansion.ml: Float Format Xheal_graph Xheal_linalg

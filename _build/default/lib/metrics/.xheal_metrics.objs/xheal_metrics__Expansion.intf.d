@@ -1,0 +1,1 @@
+lib/metrics/expansion.mli: Format Random Xheal_graph

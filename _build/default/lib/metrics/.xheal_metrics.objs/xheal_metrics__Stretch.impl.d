@@ -1,0 +1,1 @@
+lib/metrics/stretch.ml: Array Hashtbl List Random Xheal_graph

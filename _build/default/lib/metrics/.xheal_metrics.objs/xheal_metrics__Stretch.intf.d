@@ -1,0 +1,1 @@
+lib/metrics/stretch.mli: Random Xheal_graph

@@ -1,0 +1,31 @@
+(** Expansion / conductance / spectral measurement of a network, with the
+    strongest method available at each size: exact cut enumeration when
+    feasible, Fiedler sweep cuts plus Cheeger bounds otherwise. *)
+
+type measure = {
+  n : int;
+  m : int;
+  connected : bool;
+  lambda2 : float;
+  lambda2_normalized : float;
+  sweep_h : float;  (** Upper bound on edge expansion. *)
+  sweep_phi : float;  (** Upper bound on conductance. *)
+  exact_h : float option;  (** Exact edge expansion, small graphs only. *)
+  exact_phi : float option;
+}
+
+val measure : ?exact_limit:int -> ?rng:Random.State.t -> Xheal_graph.Graph.t -> measure
+(** [exact_limit] (default 16) caps the exact 2^n enumeration. *)
+
+val best_h : measure -> float
+(** Exact value when available, otherwise the sweep upper bound. *)
+
+val best_phi : measure -> float
+
+val guarantee_ok :
+  ?alpha:float -> ?tol:float -> healed:measure -> reference:measure -> unit -> bool
+(** Theorem 2.3's promise, [h(G_t) ≥ min(α, h(G'_t))], with [α] default 1
+    and multiplicative slack [tol] (default 0.05) for the approximation
+    error of the sweep bounds. *)
+
+val pp : Format.formatter -> measure -> unit

@@ -1,0 +1,33 @@
+(** Network stretch (Theorem 2.2): the worst ratio of healed-graph
+    distance to [G'] distance over pairs of surviving nodes. [G']
+    distances may route through deleted nodes, exactly as the paper
+    defines them. *)
+
+type report = {
+  max_stretch : float;
+      (** [infinity] when healing left a [G']-connected surviving pair
+          disconnected; [1.0] for graphs with fewer than two nodes. *)
+  worst_pair : (int * int) option;
+  pairs_checked : int;
+  sources_used : int;
+}
+
+val report :
+  ?max_sources:int ->
+  ?rng:Random.State.t ->
+  healed:Xheal_graph.Graph.t ->
+  reference:Xheal_graph.Graph.t ->
+  unit ->
+  report
+(** BFS from up to [max_sources] surviving nodes (default 64; all nodes
+    when the graph is that small) in both graphs, maximizing the distance
+    ratio over reachable surviving targets. Deterministic when sources
+    are not sampled. *)
+
+val max_stretch :
+  ?max_sources:int ->
+  ?rng:Random.State.t ->
+  healed:Xheal_graph.Graph.t ->
+  reference:Xheal_graph.Graph.t ->
+  unit ->
+  float

@@ -1,0 +1,1 @@
+lib/routing/congestion.ml: Int List Option Tables Xheal_graph

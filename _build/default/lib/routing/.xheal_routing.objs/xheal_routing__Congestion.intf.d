@@ -1,0 +1,1 @@
+lib/routing/congestion.mli: Tables Xheal_graph

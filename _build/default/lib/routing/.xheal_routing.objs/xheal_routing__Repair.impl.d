@@ -1,0 +1,1 @@
+lib/routing/repair.ml: List Tables Xheal_graph

@@ -1,0 +1,1 @@
+lib/routing/repair.mli: Xheal_graph

@@ -1,0 +1,1 @@
+lib/routing/tables.ml: Format Hashtbl List Option Queue Xheal_graph

@@ -1,0 +1,1 @@
+lib/routing/tables.mli: Xheal_graph

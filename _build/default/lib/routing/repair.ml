@@ -1,0 +1,48 @@
+module Graph = Xheal_graph.Graph
+
+type report = {
+  survivors : int;
+  broken_routes : int;
+  repaired : int;
+  lost : int;
+  max_reroute_stretch : float;
+  mean_reroute_stretch : float;
+}
+
+let measure ~before ~after =
+  let old_tables = Tables.build before in
+  let new_tables = Tables.build after in
+  let deleted u = not (Graph.has_node after u) in
+  let survivors = List.filter (fun u -> not (deleted u)) (Graph.nodes before) in
+  let broken = ref 0 and repaired = ref 0 and lost = ref 0 in
+  let max_stretch = ref 1.0 and sum_stretch = ref 0.0 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if s <> d then
+            match Tables.route old_tables ~src:s ~dst:d with
+            | None -> ()
+            | Some old_route ->
+              if List.exists deleted old_route then begin
+                incr broken;
+                match Tables.distance new_tables ~src:s ~dst:d with
+                | None -> incr lost
+                | Some new_dist ->
+                  incr repaired;
+                  let old_dist = List.length old_route - 1 in
+                  let stretch = float_of_int new_dist /. float_of_int (max 1 old_dist) in
+                  if stretch > !max_stretch then max_stretch := stretch;
+                  sum_stretch := !sum_stretch +. stretch
+              end)
+        survivors)
+    survivors;
+  {
+    survivors = List.length survivors;
+    broken_routes = !broken;
+    repaired = !repaired;
+    lost = !lost;
+    max_reroute_stretch = !max_stretch;
+    mean_reroute_stretch =
+      (if !repaired = 0 then 1.0 else !sum_stretch /. float_of_int !repaired);
+  }

@@ -1,0 +1,19 @@
+(** Route repair measurement: how well does a healed network replace the
+    routes that adversarial deletions destroyed? For every surviving
+    ordered pair whose old shortest route passed through a deleted node,
+    we compare the new shortest route against the old one. *)
+
+type report = {
+  survivors : int;  (** Surviving nodes common to both snapshots. *)
+  broken_routes : int;  (** Old routes that used a deleted node. *)
+  repaired : int;  (** Broken routes that exist again after healing. *)
+  lost : int;  (** Broken routes with no replacement (disconnection). *)
+  max_reroute_stretch : float;
+      (** Max over repaired routes of new length / old length. *)
+  mean_reroute_stretch : float;
+}
+
+val measure :
+  before:Xheal_graph.Graph.t -> after:Xheal_graph.Graph.t -> report
+(** [before] is the pre-attack network, [after] the healed one; deleted
+    nodes are those present in [before] but not [after]. *)

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Int List QCheck QCheck_alcotest Random Xheal_adversary Xheal_baselines Xheal_graph

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Random Xheal_baselines Xheal_core Xheal_graph

@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest List QCheck QCheck_alcotest Random Xheal_core Xheal_graph Xheal_metrics

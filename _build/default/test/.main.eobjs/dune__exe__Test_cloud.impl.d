@@ -1,0 +1,1 @@
+test/test_cloud.ml: Alcotest Fun List Option QCheck QCheck_alcotest Random Xheal_core Xheal_graph

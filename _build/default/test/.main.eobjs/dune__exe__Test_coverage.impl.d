@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array List Random Xheal_adversary Xheal_baselines Xheal_core Xheal_distributed Xheal_graph Xheal_linalg

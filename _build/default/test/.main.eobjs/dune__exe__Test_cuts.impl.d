@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest List QCheck QCheck_alcotest Random Xheal_graph

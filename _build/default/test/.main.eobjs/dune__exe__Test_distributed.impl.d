@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Fun Int List Option Printf Random Xheal_core Xheal_distributed Xheal_graph

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest List Xheal_graph

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Float Fun Lazy List Random Xheal_core Xheal_graph

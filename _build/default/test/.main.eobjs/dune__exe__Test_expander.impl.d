@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Fun Hashtbl List QCheck QCheck_alcotest Random Xheal_expander Xheal_graph

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest List QCheck QCheck_alcotest Random Xheal_graph Xheal_linalg

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Printf QCheck QCheck_alcotest Random Xheal_graph Xheal_linalg

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Gen Hashtbl Int List QCheck QCheck_alcotest Xheal_core

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List QCheck QCheck_alcotest Random String Xheal_graph Xheal_metrics

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Filename Format Fun List Printf Random Result String Sys Xheal_core Xheal_graph

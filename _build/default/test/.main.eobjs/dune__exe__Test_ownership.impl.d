@@ -1,0 +1,1 @@
+test/test_ownership.ml: Alcotest Xheal_core Xheal_graph

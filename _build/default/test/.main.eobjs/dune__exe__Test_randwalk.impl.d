@@ -1,0 +1,1 @@
+test/test_randwalk.ml: Alcotest Array Random Xheal_graph Xheal_linalg

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest List Random Xheal_core

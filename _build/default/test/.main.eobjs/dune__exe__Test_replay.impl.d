@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Format Fun List QCheck QCheck_alcotest Random Xheal_core Xheal_distributed Xheal_graph

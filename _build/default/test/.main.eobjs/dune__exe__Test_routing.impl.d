@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest List QCheck QCheck_alcotest Random Xheal_core Xheal_graph Xheal_routing

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest List Random Xheal_graph Xheal_linalg

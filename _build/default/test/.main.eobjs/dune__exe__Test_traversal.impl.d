@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Hashtbl Int List QCheck QCheck_alcotest Xheal_graph

@@ -1,0 +1,1 @@
+test/test_xheal.ml: Alcotest List Random Xheal_core Xheal_graph

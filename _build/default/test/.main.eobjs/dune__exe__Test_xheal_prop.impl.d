@@ -1,0 +1,1 @@
+test/test_xheal_prop.ml: List QCheck QCheck_alcotest Random Xheal_adversary Xheal_core Xheal_graph Xheal_metrics

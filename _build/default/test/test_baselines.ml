@@ -1,0 +1,105 @@
+module Graph = Xheal_graph.Graph
+module Gen = Xheal_graph.Generators
+module Traversal = Xheal_graph.Traversal
+module Healer = Xheal_core.Healer
+module Baselines = Xheal_baselines.Baselines
+
+let rng () = Random.State.make [| 41 |]
+
+let apply_hub_deletion factory n =
+  let inst = factory.Healer.make ~rng:(rng ()) (Gen.star n) in
+  inst.Healer.delete 0;
+  inst
+
+let test_no_heal_disconnects () =
+  let inst = apply_hub_deletion Baselines.no_heal 6 in
+  let g = inst.Healer.graph () in
+  Alcotest.(check int) "five isolated leaves" 5 (Traversal.num_components g);
+  Alcotest.(check int) "no edges added" 0 (Graph.num_edges g)
+
+let test_line_heal_shape () =
+  let inst = apply_hub_deletion Baselines.line_heal 7 in
+  let g = inst.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "cycle edge count" 6 (Graph.num_edges g);
+  Alcotest.(check int) "cycle degrees" 2 (Graph.max_degree g);
+  let small = apply_hub_deletion Baselines.line_heal 3 in
+  Alcotest.(check int) "two neighbours get a path" 1 (Graph.num_edges (small.Healer.graph ()))
+
+let test_star_heal_shape () =
+  let inst = apply_hub_deletion Baselines.star_heal 7 in
+  let g = inst.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "new hub degree" 5 (Graph.degree g 1);
+  Alcotest.(check int) "star edge count" 5 (Graph.num_edges g)
+
+let test_tree_heal_shape () =
+  let inst = apply_hub_deletion Baselines.tree_heal 10 in
+  let g = inst.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "tree edge count" 8 (Graph.num_edges g);
+  Alcotest.(check bool) "degree at most 3" true (Graph.max_degree g <= 3)
+
+let test_clique_heal_shape () =
+  let inst = apply_hub_deletion Baselines.clique_heal 6 in
+  let g = inst.Healer.graph () in
+  Alcotest.(check int) "K5" 10 (Graph.num_edges g);
+  Alcotest.(check int) "degrees" 4 (Graph.min_degree g)
+
+let test_insert_shared_semantics () =
+  let inst = Baselines.tree_heal.Healer.make ~rng:(rng ()) (Gen.path 3) in
+  inst.Healer.insert ~node:9 ~neighbors:[ 0; 77 ];
+  let g = inst.Healer.graph () in
+  Alcotest.(check bool) "edge added" true (Graph.has_edge g 9 0);
+  Alcotest.(check bool) "unknown neighbour ignored" false (Graph.has_node g 77);
+  Alcotest.check_raises "duplicate insert rejected"
+    (Invalid_argument "tree-heal: inserting existing node") (fun () ->
+      inst.Healer.insert ~node:9 ~neighbors:[])
+
+let test_totals_accounting () =
+  let inst = Baselines.line_heal.Healer.make ~rng:(rng ()) (Gen.star 8) in
+  inst.Healer.delete 0;
+  let t = inst.Healer.totals () in
+  Alcotest.(check int) "one deletion" 1 t.Xheal_core.Cost.deletions;
+  Alcotest.(check int) "A(p) source recorded" 7 t.Xheal_core.Cost.black_degree_deleted;
+  Alcotest.(check bool) "messages charged" true (t.Xheal_core.Cost.total_messages > 0)
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "by_label finds tree-heal" true (Baselines.by_label "tree-heal" <> None);
+  Alcotest.(check bool) "unknown label" true (Baselines.by_label "nope" = None);
+  Alcotest.(check int) "all lists six strategies" 6 (List.length (Baselines.all ()))
+
+let test_baselines_do_not_crash_under_churn () =
+  List.iter
+    (fun factory ->
+      let r = rng () in
+      let inst = factory.Healer.make ~rng:r (Gen.connected_er ~rng:r 20 0.2) in
+      for i = 0 to 14 do
+        let g = inst.Healer.graph () in
+        if i mod 3 = 0 then
+          inst.Healer.insert ~node:(1000 + i) ~neighbors:(List.filteri (fun j _ -> j < 2) (Graph.nodes g))
+        else begin
+          let ns = Graph.nodes g in
+          inst.Healer.delete (List.nth ns (Random.State.int r (List.length ns)))
+        end;
+        match inst.Healer.check () with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" factory.Healer.label e
+      done)
+    (Baselines.all ())
+
+let suite =
+  [
+    ( "baselines",
+      [
+        Alcotest.test_case "no-heal disconnects" `Quick test_no_heal_disconnects;
+        Alcotest.test_case "line-heal cycle shape" `Quick test_line_heal_shape;
+        Alcotest.test_case "star-heal shape" `Quick test_star_heal_shape;
+        Alcotest.test_case "tree-heal shape" `Quick test_tree_heal_shape;
+        Alcotest.test_case "clique-heal shape" `Quick test_clique_heal_shape;
+        Alcotest.test_case "insert semantics" `Quick test_insert_shared_semantics;
+        Alcotest.test_case "totals accounting" `Quick test_totals_accounting;
+        Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+        Alcotest.test_case "churn robustness (all)" `Quick test_baselines_do_not_crash_under_churn;
+      ] );
+  ]

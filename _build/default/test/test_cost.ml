@@ -1,0 +1,60 @@
+module Cost = Xheal_core.Cost
+
+let test_report_building () =
+  let r = Cost.empty_report ~seq:3 Cost.Case21 in
+  let r = Cost.add_phase r ~label:"a" ~rounds:2 ~messages:10 in
+  let r = Cost.add_phase r ~label:"b" ~rounds:3 ~messages:7 in
+  Alcotest.(check int) "rounds summed" 5 r.Cost.rounds;
+  Alcotest.(check int) "messages summed" 17 r.Cost.messages;
+  Alcotest.(check int) "phases kept in order" 2 (List.length r.Cost.phases);
+  Alcotest.(check string) "first phase" "a" (List.hd r.Cost.phases).Cost.label
+
+let test_accumulate () =
+  let t = Cost.zero_totals in
+  let r1 = Cost.add_phase (Cost.empty_report ~seq:1 Cost.Case1) ~label:"x" ~rounds:4 ~messages:100 in
+  let r2 =
+    { (Cost.add_phase (Cost.empty_report ~seq:2 Cost.Case21) ~label:"y" ~rounds:9 ~messages:50) with
+      Cost.combined = true }
+  in
+  let ins = Cost.empty_report ~seq:3 Cost.Insertion in
+  let t = Cost.accumulate t r1 ~black_degree:5 in
+  let t = Cost.accumulate t r2 ~black_degree:3 in
+  let t = Cost.accumulate t ins ~black_degree:0 in
+  Alcotest.(check int) "deletions" 2 t.Cost.deletions;
+  Alcotest.(check int) "insertions" 1 t.Cost.insertions;
+  Alcotest.(check int) "max rounds" 9 t.Cost.max_rounds;
+  Alcotest.(check int) "combines" 1 t.Cost.combines;
+  Alcotest.(check int) "black degree sum" 8 t.Cost.black_degree_deleted;
+  Alcotest.(check (float 1e-9)) "amortized msgs" 75.0 (Cost.amortized_messages t);
+  Alcotest.(check (float 1e-9)) "A(p)" 4.0 (Cost.amortized_lower_bound t);
+  Alcotest.(check (float 1e-9)) "overhead" 18.75 (Cost.overhead_ratio t)
+
+let test_phase_formulas () =
+  Alcotest.(check (pair int int)) "elect 1 free" (0, 0) (Cost.elect 1);
+  let r, m = Cost.elect 16 in
+  Alcotest.(check int) "elect rounds log" 5 r;
+  Alcotest.(check int) "elect msgs k log k" 80 m;
+  Alcotest.(check (pair int int)) "distribute" (1, 40) (Cost.distribute ~kappa:4 10);
+  Alcotest.(check (pair int int)) "splice" (1, 8) (Cost.splice ~kappa:4);
+  Alcotest.(check (pair int int)) "find_free" (1, 6) (Cost.find_free 3);
+  Alcotest.(check (pair int int)) "leader_replace" (1, 7) (Cost.leader_replace 7);
+  let cr, cm = Cost.combine ~kappa:4 32 in
+  Alcotest.(check int) "combine rounds" 13 cr;
+  Alcotest.(check int) "combine msgs" (4 * 32 * 5) cm;
+  Alcotest.(check (pair int int)) "combine trivial" (0, 0) (Cost.combine ~kappa:4 1)
+
+let test_zero_division_guards () =
+  Alcotest.(check (float 1e-9)) "no deletions amortized" 0.0
+    (Cost.amortized_messages Cost.zero_totals);
+  Alcotest.(check (float 1e-9)) "no deletions overhead" 0.0 (Cost.overhead_ratio Cost.zero_totals)
+
+let suite =
+  [
+    ( "cost",
+      [
+        Alcotest.test_case "report building" `Quick test_report_building;
+        Alcotest.test_case "accumulate totals" `Quick test_accumulate;
+        Alcotest.test_case "phase formulas" `Quick test_phase_formulas;
+        Alcotest.test_case "zero-division guards" `Quick test_zero_division_guards;
+      ] );
+  ]

@@ -1,0 +1,141 @@
+module Graph = Xheal_graph.Graph
+module Edge = Xheal_graph.Edge
+
+let check_inv g name =
+  match Graph.check_invariants g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invariant broken: %s" name e
+
+let test_empty () =
+  let g = Graph.create () in
+  Alcotest.(check int) "no nodes" 0 (Graph.num_nodes g);
+  Alcotest.(check int) "no edges" 0 (Graph.num_edges g);
+  Alcotest.(check bool) "min degree" true (Graph.min_degree g = 0);
+  Alcotest.(check (option int)) "max node" None (Graph.max_node g);
+  check_inv g "empty"
+
+let test_add_remove_nodes () =
+  let g = Graph.create () in
+  Graph.add_node g 5;
+  Graph.add_node g 5;
+  Graph.add_node g 2;
+  Alcotest.(check int) "idempotent add" 2 (Graph.num_nodes g);
+  Alcotest.(check (list int)) "sorted nodes" [ 2; 5 ] (Graph.nodes g);
+  Graph.remove_node g 5;
+  Alcotest.(check int) "after removal" 1 (Graph.num_nodes g);
+  Graph.remove_node g 99 (* absent: no-op *);
+  check_inv g "nodes"
+
+let test_add_remove_edges () =
+  let g = Graph.create () in
+  Alcotest.(check bool) "new edge" true (Graph.add_edge g 1 2);
+  Alcotest.(check bool) "duplicate edge" false (Graph.add_edge g 2 1);
+  Alcotest.(check int) "edge count" 1 (Graph.num_edges g);
+  Alcotest.(check bool) "has_edge symmetric" true (Graph.has_edge g 2 1);
+  Alcotest.(check bool) "remove" true (Graph.remove_edge g 1 2);
+  Alcotest.(check bool) "remove again" false (Graph.remove_edge g 1 2);
+  Alcotest.(check int) "nodes persist" 2 (Graph.num_nodes g);
+  check_inv g "edges"
+
+let test_self_loop_rejected () =
+  let g = Graph.create () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      ignore (Graph.add_edge g 3 3))
+
+let test_remove_node_drops_edges () =
+  let g = Graph.of_edges [ (0, 1); (0, 2); (1, 2); (2, 3) ] in
+  Graph.remove_node g 2;
+  Alcotest.(check int) "edges left" 1 (Graph.num_edges g);
+  Alcotest.(check (list int)) "isolated 3" [] (Graph.neighbors g 3);
+  check_inv g "remove node"
+
+let test_neighbors_degree () =
+  let g = Graph.of_edges [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check (list int)) "neighbors sorted" [ 1; 2; 3 ] (Graph.neighbors g 0);
+  Alcotest.(check int) "degree hub" 3 (Graph.degree g 0);
+  Alcotest.(check int) "degree leaf" 1 (Graph.degree g 1);
+  Alcotest.(check int) "degree missing" 0 (Graph.degree g 9);
+  Alcotest.(check int) "volume" 5 (Graph.volume g [ 0; 1; 2 ]);
+  Alcotest.(check int) "volume dedup" 5 (Graph.volume g [ 0; 1; 2; 2; 1 ]);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree g);
+  Alcotest.(check int) "min degree" 1 (Graph.min_degree g)
+
+let test_edges_listing () =
+  let g = Graph.of_edges [ (2, 1); (0, 3); (1, 0) ] in
+  Alcotest.(check (list (pair int int)))
+    "sorted canonical edges"
+    [ (0, 1); (0, 3); (1, 2) ]
+    (List.map Edge.endpoints (Graph.edges g))
+
+let test_copy_independent () =
+  let g = Graph.of_edges [ (0, 1); (1, 2) ] in
+  let g' = Graph.copy g in
+  ignore (Graph.add_edge g' 0 2);
+  Graph.remove_node g' 1;
+  Alcotest.(check int) "original nodes" 3 (Graph.num_nodes g);
+  Alcotest.(check int) "original edges" 2 (Graph.num_edges g);
+  Alcotest.(check bool) "copies equal initially" true (Graph.equal g (Graph.copy g));
+  Alcotest.(check bool) "diverged" false (Graph.equal g g')
+
+let test_sub () =
+  let g = Graph.of_edges [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let s = Graph.sub g [ 0; 1; 2 ] in
+  Alcotest.(check int) "induced nodes" 3 (Graph.num_nodes s);
+  Alcotest.(check int) "induced edges" 2 (Graph.num_edges s);
+  Alcotest.(check bool) "edge inside" true (Graph.has_edge s 0 1);
+  Alcotest.(check bool) "edge to outside dropped" false (Graph.has_edge s 3 0);
+  check_inv s "sub"
+
+let test_union_into () =
+  let a = Graph.of_edges [ (0, 1) ] in
+  let b = Graph.of_edges [ (1, 2); (0, 1) ] in
+  Graph.union_into ~dst:a b;
+  Alcotest.(check int) "union nodes" 3 (Graph.num_nodes a);
+  Alcotest.(check int) "union edges (dedup)" 2 (Graph.num_edges a);
+  check_inv a "union"
+
+let test_of_edges_with_isolated () =
+  let g = Graph.of_edges ~nodes:[ 9; 10 ] [ (0, 1) ] in
+  Alcotest.(check (list int)) "isolated present" [ 0; 1; 9; 10 ] (Graph.nodes g)
+
+let prop_random_ops =
+  QCheck.Test.make ~name:"random op sequences keep invariants" ~count:60
+    QCheck.(list (pair (int_bound 15) (int_bound 15)))
+    (fun pairs ->
+      let g = Graph.create () in
+      List.iteri
+        (fun i (u, v) ->
+          match i mod 4 with
+          | 0 | 1 -> if u <> v then ignore (Graph.add_edge g u v)
+          | 2 -> ignore (Graph.remove_edge g u v)
+          | _ -> Graph.remove_node g u)
+        pairs;
+      match Graph.check_invariants g with Ok () -> true | Error _ -> false)
+
+let prop_edge_count =
+  QCheck.Test.make ~name:"num_edges equals listed edges" ~count:60
+    QCheck.(list (pair (int_bound 12) (int_bound 12)))
+    (fun pairs ->
+      let g = Graph.create () in
+      List.iter (fun (u, v) -> if u <> v then ignore (Graph.add_edge g u v)) pairs;
+      Graph.num_edges g = List.length (Graph.edges g))
+
+let suite =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "node add/remove" `Quick test_add_remove_nodes;
+        Alcotest.test_case "edge add/remove" `Quick test_add_remove_edges;
+        Alcotest.test_case "self-loop rejected" `Quick test_self_loop_rejected;
+        Alcotest.test_case "remove_node drops edges" `Quick test_remove_node_drops_edges;
+        Alcotest.test_case "neighbors/degree/volume" `Quick test_neighbors_degree;
+        Alcotest.test_case "edges listing" `Quick test_edges_listing;
+        Alcotest.test_case "copy independence" `Quick test_copy_independent;
+        Alcotest.test_case "induced subgraph" `Quick test_sub;
+        Alcotest.test_case "union_into" `Quick test_union_into;
+        Alcotest.test_case "of_edges isolated nodes" `Quick test_of_edges_with_isolated;
+        QCheck_alcotest.to_alcotest prop_random_ops;
+        QCheck_alcotest.to_alcotest prop_edge_count;
+      ] );
+  ]

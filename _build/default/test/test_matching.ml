@@ -1,0 +1,93 @@
+module Matching = Xheal_core.Matching
+
+let test_maximum_simple () =
+  let m =
+    Matching.maximum ~left:[| 1; 2 |]
+      ~candidates:(function 1 -> [ 10; 20 ] | 2 -> [ 10 ] | _ -> [])
+  in
+  Alcotest.(check int) "both matched" 2 (Hashtbl.length m);
+  Alcotest.(check (option int)) "2 forced to 10" (Some 10) (Hashtbl.find_opt m 2);
+  Alcotest.(check (option int)) "1 pushed to 20" (Some 20) (Hashtbl.find_opt m 1)
+
+let test_maximum_augmenting_chain () =
+  (* Requires a length-3 augmenting path. *)
+  let cands = function
+    | 1 -> [ 10 ]
+    | 2 -> [ 10; 20 ]
+    | 3 -> [ 20; 30 ]
+    | _ -> []
+  in
+  let m = Matching.maximum ~left:[| 1; 2; 3 |] ~candidates:cands in
+  Alcotest.(check int) "perfect matching found" 3 (Hashtbl.length m)
+
+let test_maximum_deficient () =
+  let m =
+    Matching.maximum ~left:[| 1; 2; 3 |] ~candidates:(fun _ -> [ 42 ])
+  in
+  Alcotest.(check int) "only one value available" 1 (Hashtbl.length m)
+
+let distinct l =
+  let sorted = List.sort Int.compare l in
+  List.length (List.sort_uniq Int.compare sorted) = List.length l
+
+let test_assign_all_have_own () =
+  match Matching.assign_bridges ~units:[ (1, [ 10 ]); (2, [ 20 ]); (3, [ 30 ]) ] with
+  | None -> Alcotest.fail "feasible"
+  | Some a ->
+    Alcotest.(check (list (pair int int))) "own free nodes" [ (1, 10); (2, 20); (3, 30) ] a
+
+let test_assign_with_sharing () =
+  (* Unit 3 has no free node; unit 1 has a spare to share. *)
+  match Matching.assign_bridges ~units:[ (1, [ 10; 11 ]); (2, [ 20 ]); (3, []) ] with
+  | None -> Alcotest.fail "sharing should make this feasible"
+  | Some a ->
+    Alcotest.(check int) "all units assigned" 3 (List.length a);
+    Alcotest.(check bool) "distinct bridges" true (distinct (List.map snd a));
+    let f3 = List.assoc 3 a in
+    Alcotest.(check bool) "unit 3 got a shared node" true (f3 = 10 || f3 = 11)
+
+let test_assign_combine_needed () =
+  (* Two units, one distinct free node overall: the combine condition. *)
+  Alcotest.(check bool) "infeasible" true
+    (Matching.assign_bridges ~units:[ (1, [ 10 ]); (2, [ 10 ]) ] = None);
+  Alcotest.(check bool) "no free nodes at all" true
+    (Matching.assign_bridges ~units:[ (1, []); (2, []) ] = None)
+
+let test_assign_shared_candidates () =
+  (* Both units share candidates but there are enough distinct nodes. *)
+  match Matching.assign_bridges ~units:[ (1, [ 10; 20 ]); (2, [ 10; 20 ]) ] with
+  | None -> Alcotest.fail "feasible"
+  | Some a -> Alcotest.(check bool) "distinct" true (distinct (List.map snd a))
+
+let prop_assign_sound =
+  QCheck.Test.make ~name:"assign_bridges: distinct bridges, feasibility iff enough frees"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 6) (small_list (int_bound 8)))
+    (fun candidate_lists ->
+      let units = List.mapi (fun i frees -> (i, List.sort_uniq Int.compare frees)) candidate_lists in
+      let all_free =
+        List.sort_uniq Int.compare (List.concat_map snd units)
+      in
+      let feasible = List.length all_free >= List.length units in
+      match Matching.assign_bridges ~units with
+      | None -> not feasible
+      | Some a ->
+        feasible
+        && List.length a = List.length units
+        && distinct (List.map snd a)
+        && List.for_all (fun (_, f) -> List.mem f all_free) a)
+
+let suite =
+  [
+    ( "matching",
+      [
+        Alcotest.test_case "maximum: simple" `Quick test_maximum_simple;
+        Alcotest.test_case "maximum: augmenting chain" `Quick test_maximum_augmenting_chain;
+        Alcotest.test_case "maximum: deficient" `Quick test_maximum_deficient;
+        Alcotest.test_case "assign: all own" `Quick test_assign_all_have_own;
+        Alcotest.test_case "assign: sharing" `Quick test_assign_with_sharing;
+        Alcotest.test_case "assign: combine condition" `Quick test_assign_combine_needed;
+        Alcotest.test_case "assign: shared candidates" `Quick test_assign_shared_candidates;
+        QCheck_alcotest.to_alcotest prop_assign_sound;
+      ] );
+  ]

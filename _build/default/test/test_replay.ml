@@ -1,0 +1,113 @@
+(* Op recording in the engine and protocol replay on the simulator. *)
+
+module Graph = Xheal_graph.Graph
+module Gen = Xheal_graph.Generators
+module Xheal = Xheal_core.Xheal
+module Op = Xheal_core.Op
+module Cost = Xheal_core.Cost
+module Replay = Xheal_distributed.Replay
+module Dist = Xheal_distributed.Dist_repair
+
+let rng () = Random.State.make [| 97 |]
+
+let test_case1_records_build () =
+  let eng = Xheal.create ~rng:(rng ()) (Gen.star 10) in
+  Xheal.delete eng 0;
+  match Xheal.last_ops eng with
+  | [ Op.Primary_build { members } ] ->
+    Alcotest.(check (list int)) "the nine leaves" (List.init 9 (fun i -> i + 1)) members
+  | ops -> Alcotest.failf "unexpected ops (%d)" (List.length ops)
+
+let test_intra_cloud_records_splice () =
+  let eng = Xheal.create ~rng:(rng ()) (Gen.star 10) in
+  Xheal.delete eng 0;
+  Xheal.delete eng 5;
+  match Xheal.last_ops eng with
+  | [ Op.Splice { cloud_size } ] -> Alcotest.(check int) "shrunken cloud" 8 cloud_size
+  | ops -> Alcotest.failf "unexpected ops (%d)" (List.length ops)
+
+let test_insert_records_nothing () =
+  let eng = Xheal.create ~rng:(rng ()) (Gen.star 5) in
+  Xheal.delete eng 0;
+  Xheal.insert eng ~node:77 ~neighbors:[ 1 ];
+  Alcotest.(check int) "no ops on insertion" 0 (List.length (Xheal.last_ops eng))
+
+let test_combine_records_snapshots () =
+  let cfg = { Xheal_core.Config.default with Xheal_core.Config.secondary_clouds = false } in
+  let g = Graph.create () in
+  List.iter (fun l -> ignore (Graph.add_edge g 0 l)) [ 1; 2; 3 ];
+  List.iter (fun l -> ignore (Graph.add_edge g 10 l)) [ 11; 12; 13 ];
+  ignore (Graph.add_edge g 20 0);
+  ignore (Graph.add_edge g 20 10);
+  ignore (Graph.add_edge g 3 11);
+  let eng = Xheal.create ~cfg ~rng:(rng ()) g in
+  Xheal.delete eng 0;
+  Xheal.delete eng 10;
+  Xheal.delete eng 20;
+  let combines =
+    List.filter_map (function Op.Combine { clouds } -> Some clouds | _ -> None)
+      (Xheal.last_ops eng)
+  in
+  match combines with
+  | [ clouds ] ->
+    Alcotest.(check int) "two clouds merged" 2 (List.length clouds);
+    Alcotest.(check bool) "snapshots carry members" true
+      (List.for_all (fun (ms, _) -> ms <> []) clouds)
+  | _ -> Alcotest.failf "expected exactly one combine, got %d" (List.length combines)
+
+let test_replay_matches_direct_protocols () =
+  let members = List.init 12 Fun.id in
+  let a = Replay.op ~rng:(rng ()) ~d:2 (Op.Primary_build { members }) in
+  let b = Dist.primary_build ~rng:(rng ()) ~d:2 ~neighbors:members in
+  Alcotest.(check int) "same rounds" b.Dist.rounds a.Dist.rounds;
+  Alcotest.(check int) "same messages" b.Dist.messages a.Dist.messages;
+  let s = Replay.op ~rng:(rng ()) ~d:3 (Op.Splice { cloud_size = 9 }) in
+  Alcotest.(check int) "splice constant" 1 s.Dist.rounds
+
+let test_replay_combine_covers_all_members () =
+  (* Two disjoint cliques as snapshots: the relay edge must let the
+     BFS-echo reach everyone, so the stats are nonzero and finite. *)
+  let cl ms = (ms, List.concat_map (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) ms) ms) in
+  let s =
+    Replay.op ~rng:(rng ()) ~d:2 (Op.Combine { clouds = [ cl [ 0; 1; 2 ]; cl [ 10; 11; 12 ] ] })
+  in
+  Alcotest.(check bool) "rounds sane" true (s.Dist.rounds > 0 && s.Dist.rounds < 40);
+  Alcotest.(check bool) "messages flow" true (s.Dist.messages > 10)
+
+let prop_replay_rounds_logarithmic =
+  QCheck.Test.make ~name:"replayed deletions stay within O(log n) rounds" ~count:10
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let r = Random.State.make [| seed |] in
+      let eng = Xheal.create ~rng:r (Gen.connected_er ~rng:r 30 0.15) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let ns = Graph.nodes (Xheal.graph eng) in
+        Xheal.delete eng (List.nth ns (Random.State.int r (List.length ns)));
+        let s = Replay.deletion ~rng:r ~d:2 (Xheal.last_ops eng) in
+        (* 30 nodes: log2 n < 5; generous constant. *)
+        if s.Dist.rounds > 60 then ok := false
+      done;
+      !ok)
+
+let test_op_pp_and_size () =
+  Alcotest.(check int) "build size" 3 (Op.size (Op.Primary_build { members = [ 1; 2; 3 ] }));
+  Alcotest.(check int) "combine size dedups" 3
+    (Op.size (Op.Combine { clouds = [ ([ 1; 2 ], []); ([ 2; 3 ], []) ] }));
+  let s = Format.asprintf "%a" Op.pp (Op.Splice { cloud_size = 7 }) in
+  Alcotest.(check string) "pp" "splice(7)" s
+
+let suite =
+  [
+    ( "op-replay",
+      [
+        Alcotest.test_case "case 1 records a build" `Quick test_case1_records_build;
+        Alcotest.test_case "intra-cloud records a splice" `Quick test_intra_cloud_records_splice;
+        Alcotest.test_case "insertions record nothing" `Quick test_insert_records_nothing;
+        Alcotest.test_case "combine records snapshots" `Quick test_combine_records_snapshots;
+        Alcotest.test_case "replay matches direct protocols" `Quick test_replay_matches_direct_protocols;
+        Alcotest.test_case "replayed combine reaches everyone" `Quick test_replay_combine_covers_all_members;
+        Alcotest.test_case "op pp and size" `Quick test_op_pp_and_size;
+        QCheck_alcotest.to_alcotest prop_replay_rounds_logarithmic;
+      ] );
+  ]
