@@ -17,6 +17,7 @@ module Spectral = Xheal_linalg.Spectral
 module Hgraph = Xheal_expander.Hgraph
 module Xheal = Xheal_core.Xheal
 module Election = Xheal_distributed.Election
+module Fault_plan = Xheal_distributed.Fault_plan
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables.                                         *)
@@ -77,6 +78,13 @@ let bench_election () =
   let parts = List.init 64 Fun.id in
   Test.make ~name:"election-protocol(m=64)" (Staged.stage (fun () -> ignore (Election.run ~rng parts)))
 
+let bench_faulty_election () =
+  let rng = Random.State.make [| 11 |] in
+  let parts = List.init 64 Fun.id in
+  let plan = Fault_plan.make ~seed:7 ~drop:0.1 () in
+  Test.make ~name:"election-faulty(m=64,drop=0.1)"
+    (Staged.stage (fun () -> ignore (Election.run_robust ~rng ~plan ~max_rounds:400 parts)))
+
 let bench_batch_deletion () =
   let rng = Random.State.make [| 8 |] in
   let eng = Xheal.create ~rng (Gen.random_regular ~rng 256 4) in
@@ -87,8 +95,7 @@ let bench_batch_deletion () =
          let g = Xheal.graph eng in
          let nodes = Graph.nodes g in
          let victims =
-           List.filteri (fun i _ -> i < 5)
-             (List.sort (fun _ _ -> if Random.State.bool atk then 1 else -1) nodes)
+           List.filteri (fun i _ -> i < 5) (Gen.shuffle_list ~rng:atk nodes)
          in
          Xheal.delete_many eng victims;
          (* Refill to keep the size steady. *)
@@ -120,6 +127,7 @@ let micro_tests () =
       bench_lambda2_dense ();
       bench_lambda2_lanczos ();
       bench_election ();
+      bench_faulty_election ();
       bench_exact_expansion ();
       bench_batch_deletion ();
       bench_routing_tables ();

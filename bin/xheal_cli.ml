@@ -166,7 +166,7 @@ let batch_cmd =
       if List.length nodes > batch + 4 then begin
         let victims =
           List.filteri (fun i _ -> i < batch)
-            (List.sort (fun _ _ -> if Random.State.bool atk then 1 else -1) nodes)
+            (Xheal_graph.Generators.shuffle_list ~rng:atk nodes)
         in
         Xheal_core.Xheal.delete_many eng victims;
         let g = Xheal_core.Xheal.graph eng in

@@ -81,3 +81,92 @@ let run ~graph ~root =
   let get = install net ~graph ~root in
   let stats = Netsim.run net in
   (stats, get ())
+
+(* Fault-tolerant flood/echo. Every message that matters is retried
+   until acknowledged: Explore is resent to each unresolved neighbour
+   every [retry_every] rounds (Accept/Reject double as its ack, and a
+   node re-answers duplicate Explores idempotently), and each Subtree
+   echo is resent until the parent acks it. Duplicated deliveries are
+   deduplicated by per-neighbour state, so drop/dup/delay faults can
+   stretch the run but not corrupt the collected component. A crashed
+   node permanently withholds its subtree: the run then either quiesces
+   with the getter returning [None] or exhausts max_rounds with
+   [converged = false] — never a silently wrong component. *)
+(* A neighbour with no entry yet is still unresolved. *)
+type nstatus = Child | NonChild
+
+let install_robust ?(retry_every = 3) net ~graph ~root =
+  if not (Graph.has_node graph root) then
+    invalid_arg "Bfs_echo.install_robust: root not in graph";
+  let result = ref None in
+  Graph.iter_nodes
+    (fun u ->
+      let visited = ref false in
+      let parent = ref None in
+      let up_acked = ref false in
+      let nbrs = Graph.neighbors graph u in
+      let status = Hashtbl.create (max 4 (List.length nbrs)) in
+      let subtree = Hashtbl.create 4 in
+      let handler ~round ~inbox =
+        let out = ref [] in
+        let newly_visited = ref false in
+        if round = 0 && u = root then begin
+          visited := true;
+          newly_visited := true
+        end;
+        List.iter
+          (fun (src, msg) ->
+            match msg with
+            | Msg.Explore _ ->
+              if not !visited then begin
+                visited := true;
+                parent := Some src;
+                newly_visited := true;
+                out := (src, Msg.Accept) :: !out
+              end
+              else if !parent = Some src then out := (src, Msg.Accept) :: !out
+              else out := (src, Msg.Reject) :: !out
+            | Msg.Accept -> Hashtbl.replace status src Child
+            | Msg.Reject ->
+              if Hashtbl.find_opt status src <> Some Child then
+                Hashtbl.replace status src NonChild
+            | Msg.Subtree addrs ->
+              if not (Hashtbl.mem subtree src) then Hashtbl.replace subtree src addrs;
+              out := (src, Msg.Ack) :: !out
+            | Msg.Ack -> if !parent = Some src then up_acked := true
+            | _ -> ())
+          inbox;
+        if !visited then begin
+          let others = List.filter (fun v -> Some v <> !parent) nbrs in
+          let unresolved = List.filter (fun v -> not (Hashtbl.mem status v)) others in
+          if !newly_visited || (round mod retry_every = 0 && unresolved <> []) then
+            List.iter
+              (fun v -> out := (v, Msg.Explore { root; dist = round }) :: !out)
+              unresolved;
+          let complete =
+            unresolved = []
+            && List.for_all
+                 (fun v -> Hashtbl.find_opt status v <> Some Child || Hashtbl.mem subtree v)
+                 others
+          in
+          if complete then begin
+            let collected = u :: Hashtbl.fold (fun _ addrs acc -> addrs @ acc) subtree [] in
+            if u = root then begin
+              if !result = None then result := Some (List.sort Int.compare collected)
+            end
+            else if (not !up_acked) && round mod retry_every = 0 then
+              out := (Option.get !parent, Msg.Subtree collected) :: !out
+          end
+        end;
+        !out
+      in
+      Netsim.add_node net u handler)
+    graph;
+  fun () -> !result
+
+let run_robust ?(plan = Fault_plan.none) ?retry_every ?max_rounds ~graph ~root () =
+  let net = Netsim.create () in
+  let get = install_robust ?retry_every net ~graph ~root in
+  let grace = (2 * Option.value ~default:3 retry_every) + 2 in
+  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  (stats, get ())

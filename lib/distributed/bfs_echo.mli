@@ -12,3 +12,29 @@ val install :
     collected at the root (the root's component) once the run finishes. *)
 
 val run : graph:Xheal_graph.Graph.t -> root:int -> Netsim.stats * int list option
+
+val install_robust :
+  ?retry_every:int ->
+  Netsim.t ->
+  graph:Xheal_graph.Graph.t ->
+  root:int ->
+  unit ->
+  int list option
+(** Fault-tolerant flood/echo: Explores are retried every [retry_every]
+    rounds (default 3) until answered, Subtree echoes are retried until
+    acked, and duplicate deliveries are deduplicated — so under message
+    faults the collected component is stretched in time but never
+    corrupted. The getter returns [None] if the echo never completed. *)
+
+val run_robust :
+  ?plan:Fault_plan.t ->
+  ?retry_every:int ->
+  ?max_rounds:int ->
+  graph:Xheal_graph.Graph.t ->
+  root:int ->
+  unit ->
+  Netsim.stats * int list option
+(** Fresh simulator + {!install_robust} under the given fault plan.
+    Check [stats.converged]: a [false] means the protocol was still
+    retrying (e.g. a crashed node withheld its subtree) at
+    [max_rounds]. *)

@@ -13,6 +13,69 @@ let plan_edges ~rng ~d members =
     let h = Hgraph.create ~rng ~d members in
     List.map Edge.endpoints (Hgraph.edges h)
 
+(* Fault-tolerant build: the leader resends each member's Edges list
+   every [retry_every] rounds until that member acks, and fresh edges
+   are handshaken with retries. The handshake is asymmetric so it
+   terminates: the lower-id endpoint initiates and resends Hello until
+   it hears back; the higher-id endpoint replies Hello to each receipt
+   (never initiating), so every retransmission chain is driven by
+   exactly one side. Edge receipt and handshake state are idempotent, so
+   duplicates and delays are harmless; a crashed member leaves the run
+   retrying until max_rounds, which reports [converged = false]. *)
+let run_robust ~rng ?(plan = Fault_plan.none) ?(retry_every = 3) ?max_rounds ~d ~leader
+    ~members () =
+  if not (List.mem leader members) then
+    invalid_arg "Cloud_build.run_robust: leader must be a member";
+  let edges = plan_edges ~rng ~d members in
+  let incident u = List.filter (fun (a, b) -> a = u || b = u) edges in
+  let net = Netsim.create () in
+  List.iter
+    (fun u ->
+      let my_edges = ref (if u = leader then Some (incident u) else None) in
+      let got_hello = Hashtbl.create 8 in
+      let edges_acked = Hashtbl.create 8 in
+      let peers () =
+        match !my_edges with
+        | None -> []
+        | Some es -> List.map (fun (a, b) -> if a = u then b else a) es
+      in
+      let handler ~round ~inbox =
+        let out = ref [] in
+        let fresh = ref (round = 0 && u = leader) in
+        List.iter
+          (fun (src, msg) ->
+            match msg with
+            | Msg.Edges es ->
+              if !my_edges = None then begin
+                my_edges := Some es;
+                fresh := true
+              end;
+              out := (src, Msg.Ack) :: !out
+            | Msg.Hello ->
+              Hashtbl.replace got_hello src ();
+              if src < u then out := (src, Msg.Hello) :: !out
+            | Msg.Ack -> if u = leader then Hashtbl.replace edges_acked src ()
+            | _ -> ())
+          inbox;
+        if u = leader && (round = 0 || round mod retry_every = 0) then
+          List.iter
+            (fun v ->
+              if v <> leader && not (Hashtbl.mem edges_acked v) then
+                out := (v, Msg.Edges (incident v)) :: !out)
+            members;
+        let pending =
+          List.filter (fun p -> p > u && not (Hashtbl.mem got_hello p)) (peers ())
+        in
+        if !fresh || (round mod retry_every = 0 && pending <> []) then
+          List.iter (fun p -> out := (p, Msg.Hello) :: !out) pending;
+        !out
+      in
+      Netsim.add_node net u handler)
+    members;
+  let grace = (2 * retry_every) + 2 in
+  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  (stats, List.sort compare edges)
+
 let run ~rng ~d ~leader ~members =
   if not (List.mem leader members) then invalid_arg "Cloud_build.run: leader must be a member";
   let edges = plan_edges ~rng ~d members in

@@ -12,3 +12,21 @@ val run :
   Netsim.stats * (int * int) list
 (** Returns the simulation stats and the edge list that was installed
     (sorted canonical pairs). [leader] must be a member. *)
+
+val run_robust :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?retry_every:int ->
+  ?max_rounds:int ->
+  d:int ->
+  leader:int ->
+  members:int list ->
+  unit ->
+  Netsim.stats * (int * int) list
+(** Fault-tolerant build: Edges distribution is acked and retried every
+    [retry_every] rounds (default 3), and the per-edge handshake is an
+    initiator/responder exchange with retries, so message loss,
+    duplication, and delay stretch the run without corrupting it. A
+    crashed member makes the run exhaust [max_rounds] and report
+    [converged = false]. The returned edge list is the leader's plan, as
+    in {!run}. *)

@@ -1,28 +1,63 @@
 (** End-to-end repair operations measured as actual protocols on the
     simulator, phase by phase (the phases of Theorem 5's proof). These
     are the measured counterparts of the closed-form charges in
-    {!Xheal_core.Cost}; experiments E6/E7 compare the two. *)
+    {!Xheal_core.Cost}; experiments E6/E7 compare the two, and E12
+    re-runs them under fault injection.
+
+    Each operation takes an optional {!Fault_plan}. With
+    {!Fault_plan.none} (the default) the original fault-free protocols
+    run and every stat is identical to the historical behaviour; with a
+    faulty plan the retry/ack-hardened protocol variants run instead
+    (each phase on its own derived fault stream), and [converged]
+    reports whether every phase actually quiesced. *)
 
 type stats = {
   rounds : int;
   messages : int;
   words : int;  (** CONGEST payload volume (see {!Msg.size_words}). *)
+  converged : bool;  (** All phases quiesced; a timed-out phase forces [false]. *)
+  dropped : int;
+  duplicated : int;
+  delayed : int;
 }
 
 val add : stats -> Netsim.stats -> stats
 
-val primary_build : rng:Random.State.t -> d:int -> neighbors:int list -> stats
+val primary_build :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?max_rounds:int ->
+  d:int ->
+  neighbors:int list ->
+  unit ->
+  stats
 (** Case 1: the deleted node's neighbours elect a leader (they know each
     other via NoN), which builds and distributes the new primary cloud. *)
 
-val secondary_stitch : rng:Random.State.t -> d:int -> bridges:int list -> stats
+val secondary_stitch :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?max_rounds:int ->
+  d:int ->
+  bridges:int list ->
+  unit ->
+  stats
 (** Building a secondary cloud over the chosen bridge nodes. *)
 
-val combine : rng:Random.State.t -> d:int -> union:Xheal_graph.Graph.t -> initiator:int -> stats
+val combine :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?max_rounds:int ->
+  d:int ->
+  union:Xheal_graph.Graph.t ->
+  initiator:int ->
+  unit ->
+  stats
 (** The expensive path: BFS-echo over the union of the clouds being
     merged gathers every address at the initiator, which then builds and
     distributes one big cloud. *)
 
 val splice : d:int -> stats
 (** Modeled constant cost of one H-graph INSERT/DELETE splice (2κ
-    messages, 1 round) — too local to be worth simulating. *)
+    messages, 1 round) — too local to be worth simulating, so faults do
+    not apply to it. *)

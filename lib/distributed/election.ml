@@ -45,3 +45,92 @@ let run ~rng participants =
   let get = install ~rng net participants in
   let stats = Netsim.run net in
   (stats, get ())
+
+(* Fault-tolerant variant. The bracket tournament above assumes every
+   duel message lands; one loss silently corrupts the result. Here each
+   participant repeatedly challenges a coordinator until it learns the
+   outcome, and coordinators rotate: epoch e's coordinator is the
+   (e+1)-th lowest id, so a crashed coordinator is routed around after
+   [epoch_rounds] silent rounds — the "leader re-election on crash
+   detection" path. The coordinator decides once it has heard everyone
+   (fast path) or half an epoch has elapsed (crash/loss path), then
+   broadcasts Victory until each member acks, giving up on a member
+   after [give_up] unacked sends so crashed members cannot prevent
+   quiescence. *)
+let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) net
+    participants =
+  let parts = Array.of_list (List.sort_uniq Int.compare participants) in
+  let m = Array.length parts in
+  let elected = ref None in
+  Array.iter
+    (fun id ->
+      let my_rank = (Random.State.int rng 0x3FFFFFFF, id) in
+      let champion = ref my_rank in
+      let heard = Hashtbl.create (max 8 m) in
+      let learned = ref None in
+      let decided = ref false in
+      let acked = Hashtbl.create (max 8 m) in
+      let sends = Hashtbl.create (max 8 m) in
+      let handler ~round ~inbox =
+        let out = ref [] in
+        List.iter
+          (fun (src, msg) ->
+            match msg with
+            | Msg.Challenge { rank; candidate } ->
+              if (rank, candidate) > !champion then champion := (rank, candidate);
+              Hashtbl.replace heard src ()
+            | Msg.Victory { leader; _ } ->
+              if !learned = None then begin
+                learned := Some leader;
+                elected := Some leader
+              end;
+              out := (src, Msg.Ack) :: !out
+            | Msg.Ack -> Hashtbl.replace acked src ()
+            | _ -> ())
+          inbox;
+        let epoch = min (round / epoch_rounds) (m - 1) in
+        let coord = parts.(epoch) in
+        let just_decided = ref false in
+        if id = coord && (not !decided) && !learned = None then begin
+          let all_heard = Hashtbl.length heard >= m - 1 in
+          let deadline = (epoch * epoch_rounds) + (epoch_rounds / 2) in
+          if all_heard || round >= deadline then begin
+            let leader = snd !champion in
+            decided := true;
+            just_decided := true;
+            learned := Some leader;
+            elected := Some leader
+          end
+        end;
+        (match (!decided, !learned) with
+        | true, Some leader when !just_decided || round mod retry_every = 0 ->
+          Array.iter
+            (fun other ->
+              if other <> id && not (Hashtbl.mem acked other) then begin
+                let c = Option.value ~default:0 (Hashtbl.find_opt sends other) in
+                if c < give_up then begin
+                  Hashtbl.replace sends other (c + 1);
+                  out :=
+                    (other, Msg.Victory { leader; members = Array.to_list parts }) :: !out
+                end
+              end)
+            parts
+        | _ -> ());
+        if (not !decided) && !learned = None && id <> coord && round mod retry_every = 0
+        then
+          out :=
+            (coord, Msg.Challenge { rank = fst !champion; candidate = snd !champion })
+            :: !out;
+        !out
+      in
+      Netsim.add_node net id handler)
+    parts;
+  fun () -> !elected
+
+let run_robust ~rng ?(plan = Fault_plan.none) ?retry_every ?epoch_rounds ?give_up
+    ?max_rounds participants =
+  let net = Netsim.create () in
+  let get = install_robust ~rng ?retry_every ?epoch_rounds ?give_up net participants in
+  let grace = (2 * Option.value ~default:3 retry_every) + 2 in
+  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  (stats, get ())

@@ -17,3 +17,35 @@ val install :
 
 val run : rng:Random.State.t -> int list -> Netsim.stats * int option
 (** Convenience: fresh simulator, install, run, return stats and leader. *)
+
+val install_robust :
+  rng:Random.State.t ->
+  ?retry_every:int ->
+  ?epoch_rounds:int ->
+  ?give_up:int ->
+  Netsim.t ->
+  int list ->
+  unit ->
+  int option
+(** Fault-tolerant election for lossy/crashy networks: participants
+    re-challenge a coordinator every [retry_every] rounds (default 3)
+    until they learn the outcome; the coordinator role rotates to the
+    next-lowest id every [epoch_rounds] rounds (default 16) so a crashed
+    coordinator is replaced; Victory broadcasts are retried per member
+    up to [give_up] times (default 12) so crashed members cannot block
+    quiescence. Under no faults this still elects the maximum
+    private-rank participant, at the cost of extra ack traffic — use
+    {!install} when the network is known-perfect. *)
+
+val run_robust :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?retry_every:int ->
+  ?epoch_rounds:int ->
+  ?give_up:int ->
+  ?max_rounds:int ->
+  int list ->
+  Netsim.stats * int option
+(** Fresh simulator + {!install_robust} under the given fault plan.
+    [stats.converged = false] means the protocol was still retrying at
+    [max_rounds]; the returned leader (if any) is then untrustworthy. *)

@@ -1,0 +1,60 @@
+type partition = {
+  from_round : int;
+  until_round : int;
+  cut : (int * int) list;
+}
+
+type t = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  crashes : (int * int) list;
+  partitions : partition list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    max_delay = 1;
+    crashes = [];
+    partitions = [];
+  }
+
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault_plan.make: %s must be in [0,1]" name)
+
+let make ?(seed = 0) ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.) ?(max_delay = 1)
+    ?(crashes = []) ?(partitions = []) () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "delay" delay;
+  if max_delay < 1 then invalid_arg "Fault_plan.make: max_delay must be >= 1";
+  { seed; drop; duplicate; delay; max_delay; crashes; partitions }
+
+let is_none t =
+  t.drop = 0. && t.duplicate = 0. && t.delay = 0. && t.crashes = [] && t.partitions = []
+
+let reseed t k = { t with seed = t.seed + (k * 1_000_003) }
+
+let crash_round t id = List.assoc_opt id t.crashes
+
+let severed t ~round ~src ~dst =
+  List.exists
+    (fun p ->
+      round >= p.from_round && round < p.until_round
+      && List.exists (fun (a, b) -> (a = src && b = dst) || (a = dst && b = src)) p.cut)
+    t.partitions
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "fault-plan(none)"
+  else
+    Format.fprintf ppf
+      "fault-plan(seed=%d, drop=%.2f, dup=%.2f, delay=%.2f/%d, crashes=%d, partitions=%d)"
+      t.seed t.drop t.duplicate t.delay t.max_delay (List.length t.crashes)
+      (List.length t.partitions)

@@ -7,12 +7,13 @@ type t =
   | Subtree of int list
   | Edges of (int * int) list
   | Hello
+  | Ack
 
 let size_words = function
   | Challenge _ -> 2
   | Victory { members; _ } -> 1 + List.length members
   | Explore _ -> 2
-  | Accept | Reject | Hello -> 1
+  | Accept | Reject | Hello | Ack -> 1
   | Subtree addrs -> max 1 (List.length addrs)
   | Edges es -> max 1 (2 * List.length es)
 
@@ -25,3 +26,4 @@ let pp ppf = function
   | Subtree addrs -> Format.fprintf ppf "subtree(|%d|)" (List.length addrs)
   | Edges es -> Format.fprintf ppf "edges(|%d|)" (List.length es)
   | Hello -> Format.fprintf ppf "hello"
+  | Ack -> Format.fprintf ppf "ack"

@@ -16,6 +16,10 @@ type t =
   | Edges of (int * int) list
       (** Leader → member: your incident edges in the new expander. *)
   | Hello  (** Edge-establishment handshake along a fresh edge. *)
+  | Ack
+      (** Generic acknowledgement used by the fault-tolerant protocol
+          variants (each (src, dst) pair acks at most one thing at a
+          time, so no payload is needed). *)
 
 val pp : Format.formatter -> t -> unit
 

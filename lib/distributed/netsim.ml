@@ -1,55 +1,152 @@
 type handler = round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
 
+type envelope = { src : int; dst : int; msg : Msg.t; deliver_at : int }
+
 type t = {
   nodes : (int, handler) Hashtbl.t;
-  mutable inflight : (int * int * Msg.t) list; (* src, dst, msg *)
+  mutable inflight : envelope list;
   mutable sent : int;
   mutable words : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
 }
 
-type stats = { rounds : int; messages : int; words : int }
+type stats = {
+  rounds : int;
+  messages : int;
+  words : int;
+  converged : bool;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+}
 
-let create () = { nodes = Hashtbl.create 32; inflight = []; sent = 0; words = 0 }
+let create () =
+  { nodes = Hashtbl.create 32; inflight = []; sent = 0; words = 0; dropped = 0;
+    duplicated = 0; delayed = 0 }
 
 let add_node t id handler =
   if Hashtbl.mem t.nodes id then invalid_arg "Netsim.add_node: duplicate id";
   Hashtbl.replace t.nodes id handler
 
 let send_initial t ~src ~dst msg =
-  t.inflight <- (src, dst, msg) :: t.inflight;
+  t.inflight <- { src; dst; msg; deliver_at = 0 } :: t.inflight;
   t.sent <- t.sent + 1;
   t.words <- t.words + Msg.size_words msg
 
-let run ?(max_rounds = 10_000) t =
+let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
+  let pure = Fault_plan.is_none plan in
+  let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
   let round = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !round < max_rounds do
+  let quiesced = ref false in
+  let idle = ref 0 in
+  (* A send swallowed by the gauntlet still counts as network activity:
+     the sender is (or may be) mid-retry, and treating the round as idle
+     would let a lossy run quiesce out from under a protocol that was
+     about to resend — a blackout would read as convergence. *)
+  let faulted_send = ref false in
+  (* One send through the fault gauntlet: partition, drop, duplicate,
+     delay. Returns the envelopes actually entering the network. *)
+  let faulted ~src ~dst msg =
+    if Fault_plan.severed plan ~round:!round ~src ~dst then begin
+      t.dropped <- t.dropped + 1;
+      faulted_send := true;
+      []
+    end
+    else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
+    then begin
+      t.dropped <- t.dropped + 1;
+      faulted_send := true;
+      []
+    end
+    else begin
+      let copies =
+        if
+          plan.Fault_plan.duplicate > 0.
+          && Random.State.float frng 1.0 < plan.Fault_plan.duplicate
+        then begin
+          t.duplicated <- t.duplicated + 1;
+          2
+        end
+        else 1
+      in
+      List.init copies (fun _ ->
+          let extra =
+            if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
+            then begin
+              t.delayed <- t.delayed + 1;
+              1 + Random.State.int frng plan.Fault_plan.max_delay
+            end
+            else 0
+          in
+          { src; dst; msg; deliver_at = !round + 1 + extra })
+    end
+  in
+  (* Initial sends were enqueued before the plan was known; subject them
+     to the same gauntlet (as round −1 sends delivered at round 0+). *)
+  if not pure then
+    t.inflight <-
+      List.concat_map
+        (fun e ->
+          List.map
+            (fun e' -> { e' with deliver_at = e'.deliver_at - 1 })
+            (faulted ~src:e.src ~dst:e.dst e.msg))
+        t.inflight;
+  while (not !quiesced) && !round < max_rounds do
+    faulted_send := false;
+    let now, later = List.partition (fun e -> e.deliver_at <= !round) t.inflight in
     let inboxes = Hashtbl.create 16 in
     List.iter
-      (fun (src, dst, msg) ->
-        let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes dst) in
-        Hashtbl.replace inboxes dst ((src, msg) :: prev))
-      t.inflight;
-    t.inflight <- [];
+      (fun e ->
+        match Fault_plan.crash_round plan e.dst with
+        | Some c when c <= !round -> t.dropped <- t.dropped + 1
+        | _ ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.dst) in
+          Hashtbl.replace inboxes e.dst ((e.src, e.msg) :: prev))
+      now;
     let outgoing = ref [] in
     (* Deterministic node order keeps runs reproducible. *)
     let ids = List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes []) in
     List.iter
       (fun id ->
-        let handler = Hashtbl.find t.nodes id in
-        let inbox = List.rev (Option.value ~default:[] (Hashtbl.find_opt inboxes id)) in
-        let out = handler ~round:!round ~inbox in
-        List.iter
-          (fun (dst, msg) ->
-            if Hashtbl.mem t.nodes dst then begin
-              outgoing := (id, dst, msg) :: !outgoing;
-              t.sent <- t.sent + 1;
-              t.words <- t.words + Msg.size_words msg
-            end)
-          out)
+        let alive =
+          match Fault_plan.crash_round plan id with Some c -> c > !round | None -> true
+        in
+        if alive then begin
+          let handler = Hashtbl.find t.nodes id in
+          let inbox = List.rev (Option.value ~default:[] (Hashtbl.find_opt inboxes id)) in
+          let out = handler ~round:!round ~inbox in
+          List.iter
+            (fun (dst, msg) ->
+              if Hashtbl.mem t.nodes dst then begin
+                t.sent <- t.sent + 1;
+                t.words <- t.words + Msg.size_words msg;
+                if pure then
+                  outgoing := { src = id; dst; msg; deliver_at = !round + 1 } :: !outgoing
+                else
+                  List.iter (fun e -> outgoing := e :: !outgoing) (faulted ~src:id ~dst msg)
+              end
+              else
+                (* Addressed to an unregistered (deleted) node: traceable,
+                   not silent. Not counted as a protocol send. *)
+                t.dropped <- t.dropped + 1)
+            out
+        end)
       ids;
-    t.inflight <- !outgoing;
+    t.inflight <- !outgoing @ later;
     incr round;
-    continue_ := t.inflight <> []
+    if t.inflight = [] && not !faulted_send then begin
+      if !idle >= grace then quiesced := true else incr idle
+    end
+    else idle := 0
   done;
-  { rounds = !round; messages = t.sent; words = t.words }
+  {
+    rounds = !round;
+    messages = t.sent;
+    words = t.words;
+    converged = !quiesced;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    delayed = t.delayed;
+  }

@@ -1,10 +1,19 @@
 (** Synchronous message-passing simulator (the LOCAL model of Figure 1):
     in each round every node consumes the messages addressed to it in the
-    previous round and emits new ones; messages are never lost. Round 0
-    steps every node with an empty inbox (the "neighbours are informed of
-    the deletion" wake-up); execution stops at quiescence — a round in
-    which no node sends anything. The simulator reports rounds and total
-    messages, the paper's two efficiency metrics. *)
+    previous round and emits new ones. Round 0 steps every node with an
+    empty inbox (the "neighbours are informed of the deletion" wake-up);
+    execution stops at quiescence — a round in which nothing is in flight
+    and (for [grace] further rounds) nothing new is sent. The simulator
+    reports rounds and total messages, the paper's two efficiency
+    metrics, plus fault counters and an explicit [converged] flag so a
+    run that exhausts [max_rounds] can never be mistaken for a finished
+    one.
+
+    Faults ({!Fault_plan}) are injected between send and delivery: drops,
+    duplications, delays, link partitions, and scheduled node crashes.
+    With {!Fault_plan.none} (the default) the delivery schedule, round
+    count, and message/word totals are exactly those of the fault-free
+    simulator. *)
 
 type t
 
@@ -19,14 +28,33 @@ val add_node : t -> int -> handler -> unit
 (** @raise Invalid_argument on duplicate ids. *)
 
 val send_initial : t -> src:int -> dst:int -> Msg.t -> unit
-(** Seeds a message delivered in round 0 (counted). *)
+(** Seeds a message delivered in round 0 (counted). Initial messages run
+    the same fault gauntlet as round sends. *)
 
 type stats = {
   rounds : int;
-  messages : int;
+  messages : int;  (** Protocol sends; faulty copies are not re-counted. *)
   words : int;  (** Total CONGEST payload ({!Msg.size_words}) sent. *)
+  converged : bool;
+      (** True iff the run quiesced on its own; false means [max_rounds]
+          was exhausted with work still pending. *)
+  dropped : int;
+      (** Messages lost: random drops, partition cuts, and messages
+          addressed to unregistered or crashed nodes. *)
+  duplicated : int;  (** Extra copies injected by the duplication fault. *)
+  delayed : int;  (** Deliveries pushed at least one round late. *)
 }
 
-val run : ?max_rounds:int -> t -> stats
+val run : ?max_rounds:int -> ?plan:Fault_plan.t -> ?grace:int -> t -> stats
 (** Executes until quiescence or [max_rounds] (default 10_000).
-    Messages to unregistered (deleted) nodes are silently dropped. *)
+
+    [grace] (default 0) keeps the clock ticking for that many consecutive
+    idle rounds before declaring quiescence, stepping every node with an
+    empty inbox each time. Retry-based protocols need this: a node can
+    only resend a lost message if the round after the loss still happens.
+    A round is idle only if nothing is in flight {e and} no send was
+    swallowed by the fault gauntlet — a node whose retry was just dropped
+    is still actively working, so a lossy (even fully black-holed) run
+    cannot read as converged while senders are trying. With
+    [grace = 0] and no fault plan the run stops the first time nothing is
+    in flight, exactly like the original simulator. *)

@@ -1,13 +1,19 @@
 module Graph = Xheal_graph.Graph
 module Op = Xheal_core.Op
 
-let zero = { Dist_repair.rounds = 0; messages = 0; words = 0 }
+let zero =
+  { Dist_repair.rounds = 0; messages = 0; words = 0; converged = true; dropped = 0;
+    duplicated = 0; delayed = 0 }
 
 let plus a b =
   {
     Dist_repair.rounds = a.Dist_repair.rounds + b.Dist_repair.rounds;
     messages = a.Dist_repair.messages + b.Dist_repair.messages;
     words = a.Dist_repair.words + b.Dist_repair.words;
+    converged = a.Dist_repair.converged && b.Dist_repair.converged;
+    dropped = a.Dist_repair.dropped + b.Dist_repair.dropped;
+    duplicated = a.Dist_repair.duplicated + b.Dist_repair.duplicated;
+    delayed = a.Dist_repair.delayed + b.Dist_repair.delayed;
   }
 
 let combine_union clouds =
@@ -30,14 +36,17 @@ let combine_union clouds =
   | _ -> ());
   g
 
-let op ~rng ~d = function
-  | Op.Primary_build { members } -> Dist_repair.primary_build ~rng ~d ~neighbors:members
-  | Op.Secondary_build { bridges } -> Dist_repair.secondary_stitch ~rng ~d ~bridges
+let op ~rng ?plan ?max_rounds ~d = function
+  | Op.Primary_build { members } ->
+    Dist_repair.primary_build ~rng ?plan ?max_rounds ~d ~neighbors:members ()
+  | Op.Secondary_build { bridges } ->
+    Dist_repair.secondary_stitch ~rng ?plan ?max_rounds ~d ~bridges ()
   | Op.Splice _ -> Dist_repair.splice ~d
   | Op.Combine { clouds } -> (
     let union = combine_union clouds in
     match Graph.nodes union with
     | [] -> zero
-    | initiator :: _ -> Dist_repair.combine ~rng ~d ~union ~initiator)
+    | initiator :: _ -> Dist_repair.combine ~rng ?plan ?max_rounds ~d ~union ~initiator ())
 
-let deletion ~rng ~d ops = List.fold_left (fun acc o -> plus acc (op ~rng ~d o)) zero ops
+let deletion ~rng ?plan ?max_rounds ~d ops =
+  List.fold_left (fun acc o -> plus acc (op ~rng ?plan ?max_rounds ~d o)) zero ops

@@ -2,9 +2,16 @@
     ({!Xheal_core.Op.t}, from [Xheal.last_ops]) as actual protocols on
     the synchronous simulator. This closes the loop between the engine's
     closed-form cost accounting and measured protocol executions: E6
-    uses it to measure real deletions end to end. *)
+    uses it to measure real deletions end to end, and E12 replays them
+    under fault injection. *)
 
-val op : rng:Random.State.t -> d:int -> Xheal_core.Op.t -> Dist_repair.stats
+val op :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?max_rounds:int ->
+  d:int ->
+  Xheal_core.Op.t ->
+  Dist_repair.stats
 (** One operation:
     - [Primary_build]/[Secondary_build]: tournament election over the
       member set (NoN-known) followed by the cloud-build protocol;
@@ -13,8 +20,19 @@ val op : rng:Random.State.t -> d:int -> Xheal_core.Op.t -> Dist_repair.stats
       absorbed clouds' edge sets — clouds are bridged through their
       first members (the deleted node's ex-neighbourhood, which the
       paper notes stays mutually reachable during repair) — then one
-      build over the union. *)
+      build over the union.
 
-val deletion : rng:Random.State.t -> d:int -> Xheal_core.Op.t list -> Dist_repair.stats
+    [plan] (default {!Fault_plan.none}) injects faults; with a faulty
+    plan the hardened protocol variants run and the returned
+    [converged] flag reports whether they all quiesced. *)
+
+val deletion :
+  rng:Random.State.t ->
+  ?plan:Fault_plan.t ->
+  ?max_rounds:int ->
+  d:int ->
+  Xheal_core.Op.t list ->
+  Dist_repair.stats
 (** A whole deletion's operation list; phases execute sequentially, so
-    rounds and messages add. *)
+    rounds and messages add, fault counters accumulate, and [converged]
+    is the conjunction over phases. *)

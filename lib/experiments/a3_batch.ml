@@ -19,8 +19,7 @@ let run_pair ~n ~wave ~waves ~seed =
   for _ = 1 to waves do
     let nodes = Graph.nodes (Xheal.graph batch_eng) in
     let victims =
-      List.filteri (fun i _ -> i < wave)
-        (List.sort (fun _ _ -> if Random.State.bool atk then 1 else -1) nodes)
+      List.filteri (fun i _ -> i < wave) (Xheal_graph.Generators.shuffle_list ~rng:atk nodes)
     in
     Xheal.delete_many batch_eng victims;
     (* The sequential engine deletes whichever of those victims it still

@@ -1,0 +1,9 @@
+(** E12 (beyond the paper's tables): fault injection. The paper's
+    Theorem 5 budget assumes lossless synchronous delivery; DEX and the
+    Forgiving Graph line of work insist self-healing must survive worse.
+    This sweep re-runs the measured repair protocols under seeded
+    message loss (0 → 30%) and reports survival rate and round
+    inflation, with failures reported explicitly via
+    [converged = false]. *)
+
+val exp : Exp.t

@@ -11,9 +11,9 @@ let run ~quick =
     List.map
       (fun n ->
         let rng = Exp.seeded (71 + n) in
-        let build = Dist.primary_build ~rng ~d ~neighbors:(List.init n (fun i -> i)) in
+        let build = Dist.primary_build ~rng ~d ~neighbors:(List.init n (fun i -> i)) () in
         let union = Gen.random_h_graph ~rng (max 3 n) d in
-        let comb = Dist.combine ~rng ~d ~union ~initiator:0 in
+        let comb = Dist.combine ~rng ~d ~union ~initiator:0 () in
         let budget = (4.0 *. Common.log2f n) +. 8.0 in
         ok :=
           !ok

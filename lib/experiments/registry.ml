@@ -11,6 +11,7 @@ let all =
     E9_survival.exp;
     E10_timeline.exp;
     E11_routing.exp;
+    E12_faults.exp;
     A1_secondary.exp;
     A2_rebuild.exp;
     A3_batch.exp;

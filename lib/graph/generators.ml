@@ -88,6 +88,11 @@ let shuffle ~rng a =
     a.(j) <- t
   done
 
+let shuffle_list ~rng l =
+  let a = Array.of_list l in
+  shuffle ~rng a;
+  Array.to_list a
+
 (* Configuration (pairing) model with edge-swap repair: a random pairing
    of degree stubs almost always contains a few self-loops and parallel
    edges; instead of rejecting the whole sample (hopeless for d ≥ 5),

@@ -140,8 +140,7 @@ let prop_batch_sound =
           let nodes = Graph.nodes (Xheal.graph eng) in
           if List.length nodes > batch + 4 then begin
             let victims =
-              List.filteri (fun i _ -> i < batch)
-                (List.sort (fun _ _ -> if Random.State.bool r then 1 else -1) nodes)
+              List.filteri (fun i _ -> i < batch) (Gen.shuffle_list ~rng:r nodes)
             in
             Xheal.delete_many eng victims;
             ok :=

@@ -22,13 +22,16 @@ let test_netsim_delivery_next_round () =
   let stats = Netsim.run net in
   Alcotest.(check int) "delivered in round 1" 1 !received_at;
   Alcotest.(check int) "one message" 1 stats.Netsim.messages;
-  Alcotest.(check int) "two rounds" 2 stats.Netsim.rounds
+  Alcotest.(check int) "two rounds" 2 stats.Netsim.rounds;
+  Alcotest.(check bool) "quiesced on its own" true stats.Netsim.converged
 
 let test_netsim_drops_to_unknown () =
   let net = Netsim.create () in
   Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (99, Msg.Hello) ] else []);
   let stats = Netsim.run net in
-  Alcotest.(check int) "dropped, not counted" 0 stats.Netsim.messages
+  Alcotest.(check int) "not counted as a send" 0 stats.Netsim.messages;
+  Alcotest.(check int) "but counted as dropped" 1 stats.Netsim.dropped;
+  Alcotest.(check bool) "still converged" true stats.Netsim.converged
 
 let test_netsim_sender_identity () =
   let net = Netsim.create () in
@@ -122,7 +125,7 @@ let test_primary_build_within_formula_budget () =
   let d = 2 in
   List.iter
     (fun n ->
-      let s = Dist_repair.primary_build ~rng:(rng ()) ~d ~neighbors:(List.init n Fun.id) in
+      let s = Dist_repair.primary_build ~rng:(rng ()) ~d ~neighbors:(List.init n Fun.id) () in
       let er, em = Xheal_core.Cost.elect n in
       let br, bm = Xheal_core.Cost.distribute ~kappa:(2 * d) n in
       (* Measured protocols include handshakes; allow a small constant
@@ -139,7 +142,7 @@ let test_primary_build_within_formula_budget () =
 
 let test_combine_messages_scale () =
   let r = rng () in
-  let m n = (Dist_repair.combine ~rng:r ~d:2 ~union:(Gen.random_h_graph ~rng:r n 2) ~initiator:0).Dist_repair.messages in
+  let m n = (Dist_repair.combine ~rng:r ~d:2 ~union:(Gen.random_h_graph ~rng:r n 2) ~initiator:0 ()).Dist_repair.messages in
   let m32 = m 32 and m128 = m 128 in
   Alcotest.(check bool) "roughly linear growth" true (m128 < 8 * m32 && m128 > 2 * m32)
 

@@ -58,7 +58,7 @@ let test_combine_records_snapshots () =
 let test_replay_matches_direct_protocols () =
   let members = List.init 12 Fun.id in
   let a = Replay.op ~rng:(rng ()) ~d:2 (Op.Primary_build { members }) in
-  let b = Dist.primary_build ~rng:(rng ()) ~d:2 ~neighbors:members in
+  let b = Dist.primary_build ~rng:(rng ()) ~d:2 ~neighbors:members () in
   Alcotest.(check int) "same rounds" b.Dist.rounds a.Dist.rounds;
   Alcotest.(check int) "same messages" b.Dist.messages a.Dist.messages;
   let s = Replay.op ~rng:(rng ()) ~d:3 (Op.Splice { cloud_size = 9 }) in
