@@ -18,6 +18,8 @@ module Hgraph = Xheal_expander.Hgraph
 module Xheal = Xheal_core.Xheal
 module Election = Xheal_distributed.Election
 module Fault_plan = Xheal_distributed.Fault_plan
+module Schedule = Xheal_distributed.Schedule
+module Dist_repair = Xheal_distributed.Dist_repair
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables.                                         *)
@@ -85,6 +87,15 @@ let bench_faulty_election () =
   Test.make ~name:"election-faulty(m=64,drop=0.1)"
     (Staged.stage (fun () -> ignore (Election.run_robust ~rng ~plan ~max_rounds:400 parts)))
 
+let bench_async_repair () =
+  let rng = Random.State.make [| 12 |] in
+  let neighbors = List.init 32 Fun.id in
+  let schedule = Schedule.async ~seed:12 ~fairness:8 in
+  Test.make ~name:"case1-repair-async(m=32,F=8)"
+    (Staged.stage (fun () ->
+         ignore
+           (Dist_repair.primary_build ~rng ~schedule ~max_rounds:5_000 ~d:2 ~neighbors ())))
+
 let bench_batch_deletion () =
   let rng = Random.State.make [| 8 |] in
   let eng = Xheal.create ~rng (Gen.random_regular ~rng 256 4) in
@@ -128,6 +139,7 @@ let micro_tests () =
       bench_lambda2_lanczos ();
       bench_election ();
       bench_faulty_election ();
+      bench_async_repair ();
       bench_exact_expansion ();
       bench_batch_deletion ();
       bench_routing_tables ();

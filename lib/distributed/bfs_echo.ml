@@ -39,9 +39,9 @@ let install net ~graph ~root =
         end
         else out
       in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         let out = ref [] in
-        if round = 0 && u = root then begin
+        if now = 0 && u = root then begin
           st.visited <- true;
           st.replies_expected <- List.length nbrs;
           List.iter (fun v -> out := (v, Msg.Explore { root; dist = 1 }) :: !out) nbrs
@@ -84,14 +84,19 @@ let run ~graph ~root =
 
 (* Fault-tolerant flood/echo. Every message that matters is retried
    until acknowledged: Explore is resent to each unresolved neighbour
-   every [retry_every] rounds (Accept/Reject double as its ack, and a
-   node re-answers duplicate Explores idempotently), and each Subtree
+   every [retry_every] time units (Accept/Reject double as its ack, and
+   a node re-answers duplicate Explores idempotently), and each Subtree
    echo is resent until the parent acks it. Duplicated deliveries are
    deduplicated by per-neighbour state, so drop/dup/delay faults can
    stretch the run but not corrupt the collected component. A crashed
    node permanently withholds its subtree: the run then either quiesces
    with the getter returning [None] or exhausts max_rounds with
-   [converged = false] — never a silently wrong component. *)
+   [converged = false] — never a silently wrong component.
+
+   Retries are clocked in elapsed virtual time (fire when
+   [now >= next_retry]), not on round-number multiples, so the protocol
+   is schedule-agnostic: the async engine only steps nodes at event
+   times, where modular round arithmetic would misfire. *)
 (* A neighbour with no entry yet is still unresolved. *)
 type nstatus = Child | NonChild
 
@@ -104,13 +109,16 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
       let visited = ref false in
       let parent = ref None in
       let up_acked = ref false in
+      let next_retry = ref 0 in
       let nbrs = Graph.neighbors graph u in
       let status = Hashtbl.create (max 4 (List.length nbrs)) in
       let subtree = Hashtbl.create 4 in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         let out = ref [] in
+        let retry_due = now >= !next_retry in
+        if retry_due then next_retry := now + retry_every;
         let newly_visited = ref false in
-        if round = 0 && u = root then begin
+        if now = 0 && u = root then begin
           visited := true;
           newly_visited := true
         end;
@@ -139,9 +147,9 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
         if !visited then begin
           let others = List.filter (fun v -> Some v <> !parent) nbrs in
           let unresolved = List.filter (fun v -> not (Hashtbl.mem status v)) others in
-          if !newly_visited || (round mod retry_every = 0 && unresolved <> []) then
+          if !newly_visited || (retry_due && unresolved <> []) then
             List.iter
-              (fun v -> out := (v, Msg.Explore { root; dist = round }) :: !out)
+              (fun v -> out := (v, Msg.Explore { root; dist = now }) :: !out)
               unresolved;
           let complete =
             unresolved = []
@@ -154,7 +162,7 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
             if u = root then begin
               if !result = None then result := Some (List.sort Int.compare collected)
             end
-            else if (not !up_acked) && round mod retry_every = 0 then
+            else if (not !up_acked) && retry_due then
               out := (Option.get !parent, Msg.Subtree collected) :: !out
           end
         end;
@@ -164,9 +172,10 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
     graph;
   fun () -> !result
 
-let run_robust ?(plan = Fault_plan.none) ?retry_every ?max_rounds ~graph ~root () =
+let run_robust ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
+    ?max_rounds ~graph ~root () =
   let net = Netsim.create () in
   let get = install_robust ?retry_every net ~graph ~root in
   let grace = (2 * Option.value ~default:3 retry_every) + 2 in
-  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
   (stats, get ())

@@ -21,20 +21,23 @@ val install_robust :
   unit ->
   int list option
 (** Fault-tolerant flood/echo: Explores are retried every [retry_every]
-    rounds (default 3) until answered, Subtree echoes are retried until
-    acked, and duplicate deliveries are deduplicated — so under message
-    faults the collected component is stretched in time but never
-    corrupted. The getter returns [None] if the echo never completed. *)
+    time units (default 3) until answered, Subtree echoes are retried
+    until acked, and duplicate deliveries are deduplicated — so under
+    message faults the collected component is stretched in time but
+    never corrupted. Retries are clocked in elapsed virtual time, so
+    the protocol is schedule-agnostic. The getter returns [None] if the
+    echo never completed. *)
 
 val run_robust :
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?max_rounds:int ->
   graph:Xheal_graph.Graph.t ->
   root:int ->
   unit ->
   Netsim.stats * int list option
-(** Fresh simulator + {!install_robust} under the given fault plan.
-    Check [stats.converged]: a [false] means the protocol was still
-    retrying (e.g. a crashed node withheld its subtree) at
-    [max_rounds]. *)
+(** Fresh simulator + {!install_robust} under the given fault plan and
+    delivery schedule (default {!Schedule.sync}). Check
+    [stats.converged]: a [false] means the protocol was still retrying
+    (e.g. a crashed node withheld its subtree) at [max_rounds]. *)

@@ -14,16 +14,19 @@ let plan_edges ~rng ~d members =
     List.map Edge.endpoints (Hgraph.edges h)
 
 (* Fault-tolerant build: the leader resends each member's Edges list
-   every [retry_every] rounds until that member acks, and fresh edges
-   are handshaken with retries. The handshake is asymmetric so it
+   every [retry_every] time units until that member acks, and fresh
+   edges are handshaken with retries. The handshake is asymmetric so it
    terminates: the lower-id endpoint initiates and resends Hello until
    it hears back; the higher-id endpoint replies Hello to each receipt
    (never initiating), so every retransmission chain is driven by
    exactly one side. Edge receipt and handshake state are idempotent, so
    duplicates and delays are harmless; a crashed member leaves the run
-   retrying until max_rounds, which reports [converged = false]. *)
-let run_robust ~rng ?(plan = Fault_plan.none) ?(retry_every = 3) ?max_rounds ~d ~leader
-    ~members () =
+   retrying until max_rounds, which reports [converged = false].
+
+   Retries fire on elapsed virtual time (now >= next_retry), not round
+   multiples, so the build is schedule-agnostic. *)
+let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+    ?(retry_every = 3) ?max_rounds ~d ~leader ~members () =
   if not (List.mem leader members) then
     invalid_arg "Cloud_build.run_robust: leader must be a member";
   let edges = plan_edges ~rng ~d members in
@@ -34,14 +37,17 @@ let run_robust ~rng ?(plan = Fault_plan.none) ?(retry_every = 3) ?max_rounds ~d 
       let my_edges = ref (if u = leader then Some (incident u) else None) in
       let got_hello = Hashtbl.create 8 in
       let edges_acked = Hashtbl.create 8 in
+      let next_retry = ref 0 in
       let peers () =
         match !my_edges with
         | None -> []
         | Some es -> List.map (fun (a, b) -> if a = u then b else a) es
       in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         let out = ref [] in
-        let fresh = ref (round = 0 && u = leader) in
+        let retry_due = now >= !next_retry in
+        if retry_due then next_retry := now + retry_every;
+        let fresh = ref (now = 0 && u = leader) in
         List.iter
           (fun (src, msg) ->
             match msg with
@@ -57,7 +63,7 @@ let run_robust ~rng ?(plan = Fault_plan.none) ?(retry_every = 3) ?max_rounds ~d 
             | Msg.Ack -> if u = leader then Hashtbl.replace edges_acked src ()
             | _ -> ())
           inbox;
-        if u = leader && (round = 0 || round mod retry_every = 0) then
+        if u = leader && retry_due then
           List.iter
             (fun v ->
               if v <> leader && not (Hashtbl.mem edges_acked v) then
@@ -66,16 +72,19 @@ let run_robust ~rng ?(plan = Fault_plan.none) ?(retry_every = 3) ?max_rounds ~d 
         let pending =
           List.filter (fun p -> p > u && not (Hashtbl.mem got_hello p)) (peers ())
         in
-        if !fresh || (round mod retry_every = 0 && pending <> []) then
+        if !fresh || (retry_due && pending <> []) then
           List.iter (fun p -> out := (p, Msg.Hello) :: !out) pending;
         !out
       in
       Netsim.add_node net u handler)
     members;
   let grace = (2 * retry_every) + 2 in
-  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
   (stats, List.sort compare edges)
 
+(* The classic build is purely message-driven after the time-0 leader
+   wake-up, so it is safe on any schedule — but it has no retries, so
+   it assumes lossless delivery. *)
 let run ~rng ~d ~leader ~members =
   if not (List.mem leader members) then invalid_arg "Cloud_build.run: leader must be a member";
   let edges = plan_edges ~rng ~d members in
@@ -84,7 +93,7 @@ let run ~rng ~d ~leader ~members =
   List.iter
     (fun u ->
       let my_edges = ref (if u = leader then incident u else []) in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         let out = ref [] in
         List.iter
           (fun (_, msg) ->
@@ -99,7 +108,7 @@ let run ~rng ~d ~leader ~members =
                 es
             | _ -> ())
           inbox;
-        if round = 0 && u = leader then begin
+        if now = 0 && u = leader then begin
           List.iter
             (fun v -> if v <> leader then out := (v, Msg.Edges (incident v)) :: !out)
             members;

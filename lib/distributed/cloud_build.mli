@@ -16,6 +16,7 @@ val run :
 val run_robust :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?max_rounds:int ->
   d:int ->
@@ -24,9 +25,11 @@ val run_robust :
   unit ->
   Netsim.stats * (int * int) list
 (** Fault-tolerant build: Edges distribution is acked and retried every
-    [retry_every] rounds (default 3), and the per-edge handshake is an
-    initiator/responder exchange with retries, so message loss,
-    duplication, and delay stretch the run without corrupting it. A
+    [retry_every] time units (default 3), and the per-edge handshake is
+    an initiator/responder exchange with retries, so message loss,
+    duplication, and delay stretch the run without corrupting it.
+    Retries fire on elapsed virtual time, so the build also runs on
+    asynchronous schedules ([schedule], default {!Schedule.sync}). A
     crashed member makes the run exhaust [max_rounds] and report
     [converged = false]. The returned edge list is the leader's plan, as
     in {!run}. *)

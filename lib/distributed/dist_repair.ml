@@ -23,38 +23,55 @@ let zero =
   { rounds = 0; messages = 0; words = 0; converged = true; dropped = 0; duplicated = 0;
     delayed = 0 }
 
-(* Phase k of a composite repair gets its own fault-RNG stream so the
-   same losses do not recur in lockstep across phases. *)
+(* Phase k of a composite repair gets its own fault-RNG and delay-
+   adversary streams so the same losses and reorderings do not recur in
+   lockstep across phases. *)
 let phase_plan plan k = Fault_plan.reseed plan k
+let phase_sched schedule k = Schedule.reseed schedule k
 
-let build_phase ~rng ~plan ?max_rounds ~d ~leader ~members acc =
+(* The classic (retry-free, round-counting) protocols are only sound on
+   a perfect synchronous network; any fault plan or asynchronous
+   schedule routes through the hardened variants. *)
+let simple plan schedule = Fault_plan.is_none plan && Schedule.is_sync schedule
+
+let build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader ~members acc =
   let s, _ =
-    if Fault_plan.is_none plan then Cloud_build.run ~rng ~d ~leader ~members
-    else Cloud_build.run_robust ~rng ~plan:(phase_plan plan 2) ?max_rounds ~d ~leader ~members ()
+    if simple plan schedule then Cloud_build.run ~rng ~d ~leader ~members
+    else
+      Cloud_build.run_robust ~rng ~plan:(phase_plan plan 2) ~schedule:(phase_sched schedule 2)
+        ?max_rounds ~d ~leader ~members ()
   in
   add acc s
 
-let primary_build ~rng ?(plan = Fault_plan.none) ?max_rounds ~d ~neighbors () =
+let primary_build ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds
+    ~d ~neighbors () =
   match neighbors with
   | [] -> zero
   | _ ->
     let elect_stats, leader =
-      if Fault_plan.is_none plan then Election.run ~rng neighbors
-      else Election.run_robust ~rng ~plan:(phase_plan plan 1) ?max_rounds neighbors
+      if simple plan schedule then Election.run ~rng neighbors
+      else
+        Election.run_robust ~rng ~plan:(phase_plan plan 1) ~schedule:(phase_sched schedule 1)
+          ?max_rounds neighbors
     in
     let leader = Option.value ~default:(List.hd neighbors) leader in
-    build_phase ~rng ~plan ?max_rounds ~d ~leader ~members:neighbors (add zero elect_stats)
+    build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader ~members:neighbors
+      (add zero elect_stats)
 
-let secondary_stitch ~rng ?plan ?max_rounds ~d ~bridges () =
-  primary_build ~rng ?plan ?max_rounds ~d ~neighbors:bridges ()
+let secondary_stitch ~rng ?plan ?schedule ?max_rounds ~d ~bridges () =
+  primary_build ~rng ?plan ?schedule ?max_rounds ~d ~neighbors:bridges ()
 
-let combine ~rng ?(plan = Fault_plan.none) ?max_rounds ~d ~union ~initiator () =
+let combine ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds ~d
+    ~union ~initiator () =
   let bfs_stats, collected =
-    if Fault_plan.is_none plan then Bfs_echo.run ~graph:union ~root:initiator
-    else Bfs_echo.run_robust ~plan:(phase_plan plan 3) ?max_rounds ~graph:union ~root:initiator ()
+    if simple plan schedule then Bfs_echo.run ~graph:union ~root:initiator
+    else
+      Bfs_echo.run_robust ~plan:(phase_plan plan 3) ~schedule:(phase_sched schedule 3)
+        ?max_rounds ~graph:union ~root:initiator ()
   in
   let members = Option.value ~default:[ initiator ] collected in
-  build_phase ~rng ~plan ?max_rounds ~d ~leader:initiator ~members (add zero bfs_stats)
+  build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader:initiator ~members
+    (add zero bfs_stats)
 
 let splice ~d =
   { rounds = 1; messages = 4 * d; words = 8 * d; converged = true; dropped = 0;

@@ -4,12 +4,16 @@
     {!Xheal_core.Cost}; experiments E6/E7 compare the two, and E12
     re-runs them under fault injection.
 
-    Each operation takes an optional {!Fault_plan}. With
-    {!Fault_plan.none} (the default) the original fault-free protocols
-    run and every stat is identical to the historical behaviour; with a
-    faulty plan the retry/ack-hardened protocol variants run instead
-    (each phase on its own derived fault stream), and [converged]
-    reports whether every phase actually quiesced. *)
+    Each operation takes an optional {!Fault_plan} and an optional
+    delivery {!Schedule}. With {!Fault_plan.none} and {!Schedule.sync}
+    (the defaults) the original fault-free synchronous protocols run
+    and every stat is identical to the historical behaviour; with a
+    faulty plan or an asynchronous schedule the retry/ack-hardened
+    protocol variants run instead (each phase on its own derived fault
+    and delay streams), and [converged] reports whether every phase
+    actually quiesced. Under an asynchronous schedule [rounds] is the
+    summed virtual time-to-quiescence of the phases — the quantity E13
+    sweeps against the fairness parameter. *)
 
 type stats = {
   rounds : int;
@@ -26,6 +30,7 @@ val add : stats -> Netsim.stats -> stats
 val primary_build :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?max_rounds:int ->
   d:int ->
   neighbors:int list ->
@@ -37,6 +42,7 @@ val primary_build :
 val secondary_stitch :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?max_rounds:int ->
   d:int ->
   bridges:int list ->
@@ -47,6 +53,7 @@ val secondary_stitch :
 val combine :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?max_rounds:int ->
   d:int ->
   union:Xheal_graph.Graph.t ->

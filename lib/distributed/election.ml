@@ -7,6 +7,10 @@ let valuation i =
   let rec go k i = if i land 1 = 1 then k else go (k + 1) (i lsr 1) in
   go 0 i
 
+(* The classic bracket acts on round-number equality (a node duels
+   exactly at round = valuation i), so it assumes the synchronous
+   schedule, which steps every integer time. Use the robust variant on
+   asynchronous schedules. *)
 let install ~rng net participants =
   let parts = Array.of_list (List.sort_uniq Int.compare participants) in
   let m = Array.length parts in
@@ -16,7 +20,7 @@ let install ~rng net participants =
     (fun i id ->
       (* Private coin; ties broken by id, so the duel order is total. *)
       let champion = ref (Random.State.int rng 0x3FFFFFFF, id) in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         List.iter
           (fun (_, msg) ->
             match msg with
@@ -25,9 +29,9 @@ let install ~rng net participants =
             | Msg.Victory { leader; _ } -> elected := Some leader
             | _ -> ())
           inbox;
-        if i > 0 && round = valuation i then
-          [ (parts.(i - (1 lsl round)), Msg.Challenge { rank = fst !champion; candidate = snd !champion }) ]
-        else if i = 0 && round = final_round then begin
+        if i > 0 && now = valuation i then
+          [ (parts.(i - (1 lsl now)), Msg.Challenge { rank = fst !champion; candidate = snd !champion }) ]
+        else if i = 0 && now = final_round then begin
           let leader = snd !champion in
           elected := Some leader;
           Array.to_list
@@ -47,16 +51,24 @@ let run ~rng participants =
   (stats, get ())
 
 (* Fault-tolerant variant. The bracket tournament above assumes every
-   duel message lands; one loss silently corrupts the result. Here each
-   participant repeatedly challenges a coordinator until it learns the
-   outcome, and coordinators rotate: epoch e's coordinator is the
-   (e+1)-th lowest id, so a crashed coordinator is routed around after
-   [epoch_rounds] silent rounds — the "leader re-election on crash
-   detection" path. The coordinator decides once it has heard everyone
-   (fast path) or half an epoch has elapsed (crash/loss path), then
-   broadcasts Victory until each member acks, giving up on a member
-   after [give_up] unacked sends so crashed members cannot prevent
-   quiescence. *)
+   duel message lands on schedule; one loss silently corrupts the
+   result. Here each participant repeatedly challenges a coordinator
+   until it learns the outcome, and coordinators rotate: epoch e's
+   coordinator is the (e+1)-th lowest id, so a crashed coordinator is
+   routed around after [epoch_rounds] silent time units — the "leader
+   re-election on crash detection" path. The coordinator decides once
+   it has heard everyone (fast path) or half an epoch has elapsed
+   (crash/loss path), then broadcasts Victory until each member acks,
+   giving up on a member after [give_up] unacked sends so crashed
+   members cannot prevent quiescence.
+
+   All timeouts are elapsed virtual time (epoch = now / epoch_rounds,
+   retries fire when now >= next_retry), never round-number equality,
+   so the protocol runs unchanged on asynchronous schedules where nodes
+   only step at event times. Under heavy delay the coordinator's
+   deadline can pass before any challenge arrives; it then elects from
+   what it has heard (possibly itself) — still a valid participant,
+   which is the guarantee the repair pipeline needs. *)
 let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) net
     participants =
   let parts = Array.of_list (List.sort_uniq Int.compare participants) in
@@ -69,10 +81,13 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
       let heard = Hashtbl.create (max 8 m) in
       let learned = ref None in
       let decided = ref false in
+      let next_retry = ref 0 in
       let acked = Hashtbl.create (max 8 m) in
       let sends = Hashtbl.create (max 8 m) in
-      let handler ~round ~inbox =
+      let handler ~now ~inbox =
         let out = ref [] in
+        let retry_due = now >= !next_retry in
+        if retry_due then next_retry := now + retry_every;
         List.iter
           (fun (src, msg) ->
             match msg with
@@ -88,13 +103,13 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
             | Msg.Ack -> Hashtbl.replace acked src ()
             | _ -> ())
           inbox;
-        let epoch = min (round / epoch_rounds) (m - 1) in
+        let epoch = min (now / epoch_rounds) (m - 1) in
         let coord = parts.(epoch) in
         let just_decided = ref false in
         if id = coord && (not !decided) && !learned = None then begin
           let all_heard = Hashtbl.length heard >= m - 1 in
           let deadline = (epoch * epoch_rounds) + (epoch_rounds / 2) in
-          if all_heard || round >= deadline then begin
+          if all_heard || now >= deadline then begin
             let leader = snd !champion in
             decided := true;
             just_decided := true;
@@ -103,7 +118,7 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
           end
         end;
         (match (!decided, !learned) with
-        | true, Some leader when !just_decided || round mod retry_every = 0 ->
+        | true, Some leader when !just_decided || retry_due ->
           Array.iter
             (fun other ->
               if other <> id && not (Hashtbl.mem acked other) then begin
@@ -116,8 +131,7 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
               end)
             parts
         | _ -> ());
-        if (not !decided) && !learned = None && id <> coord && round mod retry_every = 0
-        then
+        if (not !decided) && !learned = None && id <> coord && retry_due then
           out :=
             (coord, Msg.Challenge { rank = fst !champion; candidate = snd !champion })
             :: !out;
@@ -127,10 +141,10 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
     parts;
   fun () -> !elected
 
-let run_robust ~rng ?(plan = Fault_plan.none) ?retry_every ?epoch_rounds ?give_up
-    ?max_rounds participants =
+let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
+    ?epoch_rounds ?give_up ?max_rounds participants =
   let net = Netsim.create () in
   let get = install_robust ~rng ?retry_every ?epoch_rounds ?give_up net participants in
   let grace = (2 * Option.value ~default:3 retry_every) + 2 in
-  let stats = Netsim.run ?max_rounds ~plan ~grace net in
+  let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
   (stats, get ())

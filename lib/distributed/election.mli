@@ -13,7 +13,9 @@ val install :
 (** [install ~rng net participants] registers a handler per participant
     and returns a getter that yields the elected leader once the
     simulation has run ([None] before completion or on an empty list).
-    Participants must not already be registered in [net]. *)
+    Participants must not already be registered in [net]. The bracket
+    duels on round-number equality, so it requires the synchronous
+    schedule; use {!install_robust} on asynchronous schedules. *)
 
 val run : rng:Random.State.t -> int list -> Netsim.stats * int option
 (** Convenience: fresh simulator, install, run, return stats and leader. *)
@@ -27,25 +29,31 @@ val install_robust :
   int list ->
   unit ->
   int option
-(** Fault-tolerant election for lossy/crashy networks: participants
-    re-challenge a coordinator every [retry_every] rounds (default 3)
-    until they learn the outcome; the coordinator role rotates to the
-    next-lowest id every [epoch_rounds] rounds (default 16) so a crashed
-    coordinator is replaced; Victory broadcasts are retried per member
-    up to [give_up] times (default 12) so crashed members cannot block
-    quiescence. Under no faults this still elects the maximum
+(** Fault-tolerant election for lossy/crashy/asynchronous networks:
+    participants re-challenge a coordinator every [retry_every] time
+    units (default 3) until they learn the outcome; the coordinator
+    role rotates to the next-lowest id every [epoch_rounds] time units
+    (default 16) so a crashed coordinator is replaced; Victory
+    broadcasts are retried per member up to [give_up] times (default
+    12) so crashed members cannot block quiescence. All timeouts are
+    elapsed virtual time, so the protocol is schedule-agnostic. Under
+    no faults on the synchronous schedule this still elects the maximum
     private-rank participant, at the cost of extra ack traffic — use
-    {!install} when the network is known-perfect. *)
+    {!install} when the network is known-perfect; under heavy
+    asynchrony the deadline path may elect from a partial view, which
+    still yields a valid participant. *)
 
 val run_robust :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?epoch_rounds:int ->
   ?give_up:int ->
   ?max_rounds:int ->
   int list ->
   Netsim.stats * int option
-(** Fresh simulator + {!install_robust} under the given fault plan.
+(** Fresh simulator + {!install_robust} under the given fault plan and
+    delivery schedule (default {!Schedule.sync}).
     [stats.converged = false] means the protocol was still retrying at
     [max_rounds]; the returned leader (if any) is then untrustworthy. *)

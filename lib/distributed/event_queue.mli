@@ -1,0 +1,28 @@
+(** Binary min-heap of timed events, the spine of the asynchronous
+    {!Netsim} engine. Entries are ordered lexicographically by
+    [(time, seq)]: earliest virtual time first, ties broken by the lower
+    sequence number. The engine feeds a globally {e decreasing} [seq],
+    which makes same-time deliveries pop newest-send-first — exactly the
+    inbox order of the historical synchronous round loop, so the
+    event-driven engine under a synchronous schedule is conformant with
+    it (see [Netsim.run_reference]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val min_time : 'a t -> int option
+(** Virtual time of the earliest pending event, if any. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the payload of the least [(time, seq)] entry. *)
+
+val pop_due : 'a t -> now:int -> 'a list
+(** All payloads with [time <= now], removed from the queue, in
+    [(time, seq)] order. *)

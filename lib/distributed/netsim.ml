@@ -1,10 +1,12 @@
-type handler = round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
+type handler = now:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
 
-type envelope = { src : int; dst : int; msg : Msg.t; deliver_at : int }
+type envelope = { src : int; dst : int; msg : Msg.t }
 
 type t = {
   nodes : (int, handler) Hashtbl.t;
-  mutable inflight : envelope list;
+  (* Initial sends, consed (newest first) — the same order the legacy
+     inflight list kept them in. *)
+  mutable initial : envelope list;
   mutable sent : int;
   mutable words : int;
   mutable dropped : int;
@@ -23,7 +25,7 @@ type stats = {
 }
 
 let create () =
-  { nodes = Hashtbl.create 32; inflight = []; sent = 0; words = 0; dropped = 0;
+  { nodes = Hashtbl.create 32; initial = []; sent = 0; words = 0; dropped = 0;
     duplicated = 0; delayed = 0 }
 
 let add_node t id handler =
@@ -31,33 +33,221 @@ let add_node t id handler =
   Hashtbl.replace t.nodes id handler
 
 let send_initial t ~src ~dst msg =
-  t.inflight <- { src; dst; msg; deliver_at = 0 } :: t.inflight;
+  t.initial <- { src; dst; msg } :: t.initial;
   t.sent <- t.sent + 1;
   t.words <- t.words + Msg.size_words msg
 
-let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
+let sorted_ids t =
+  List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [])
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven engine.                                               *)
+(*                                                                    *)
+(* One engine serves both delivery models. A priority queue holds the *)
+(* in-flight messages keyed by (delivery time, seq); the virtual      *)
+(* clock [now] advances to the next event time (asynchronous          *)
+(* schedules) or tick by tick (the synchronous schedule, which also   *)
+(* steps every node at every integer time — the LOCAL round model).   *)
+(*                                                                    *)
+(* The seq counter DECREASES: within one delivery time, newer sends   *)
+(* pop first. That is exactly the inbox order of the historical       *)
+(* synchronous loop (outgoing was consed, then prepended to the       *)
+(* leftovers), so under Schedule.sync this engine is bit-identical to *)
+(* run_reference — the conformance property in test_async.ml gates    *)
+(* precisely this.                                                    *)
+
+let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
+    ?(schedule = Schedule.sync) (t : t) =
+  let pure = Fault_plan.is_none plan in
+  let sync = Schedule.is_sync schedule in
+  let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
+  let q : envelope Event_queue.t = Event_queue.create () in
+  let seq = ref 0 in
+  let push ~time env =
+    Event_queue.add q ~time ~seq:!seq env;
+    decr seq
+  in
+  (* Per-directed-link send counter: the schedule's adversary keys its
+     delay choice on (src, dst, k) so runs replay bit-for-bit. *)
+  let link_seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let sched_delay ~src ~dst =
+    if sync then 1
+    else begin
+      let k = Option.value ~default:0 (Hashtbl.find_opt link_seq (src, dst)) in
+      Hashtbl.replace link_seq (src, dst) (k + 1);
+      Schedule.delay schedule ~src ~dst ~k
+    end
+  in
+  let now = ref 0 in
+  (* Network activity beyond the queue: a send swallowed by the fault
+     gauntlet, or a delivery dropped on a crashed destination. Either
+     way the sender is (or may be) mid-retry, so the step must not
+     count as idle — otherwise a lossy run could quiesce out from under
+     a protocol that was about to resend. *)
+  let active = ref false in
+  (* The fault gauntlet for one send: partition, drop, duplicate,
+     delay — same checks, same RNG draw order as the reference loop.
+     Returns the extra fault delay of each copy actually entering the
+     network (one zero-extra copy when the plan is pure). *)
+  let gauntlet ~src ~dst =
+    if pure then Some [ 0 ]
+    else if Fault_plan.severed plan ~round:!now ~src ~dst then begin
+      t.dropped <- t.dropped + 1;
+      active := true;
+      None
+    end
+    else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
+    then begin
+      t.dropped <- t.dropped + 1;
+      active := true;
+      None
+    end
+    else begin
+      let copies =
+        if
+          plan.Fault_plan.duplicate > 0.
+          && Random.State.float frng 1.0 < plan.Fault_plan.duplicate
+        then begin
+          t.duplicated <- t.duplicated + 1;
+          2
+        end
+        else 1
+      in
+      Some
+        (List.init copies (fun _ ->
+             if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
+             then begin
+               t.delayed <- t.delayed + 1;
+               1 + Random.State.int frng plan.Fault_plan.max_delay
+             end
+             else 0))
+    end
+  in
+  (* Initial sends were enqueued before plan and schedule were known;
+     run them through the gauntlet as time −1 sends delivered at 0+. *)
+  List.iter
+    (fun e ->
+      match gauntlet ~src:e.src ~dst:e.dst with
+      | None -> ()
+      | Some extras ->
+        List.iter
+          (fun extra -> push ~time:(sched_delay ~src:e.src ~dst:e.dst - 1 + extra) e)
+          extras)
+    t.initial;
+  let ids = sorted_ids t in
+  let quiesced = ref false in
+  let idle = ref 0 in
+  let running = ref (max_rounds > 0) in
+  while !running do
+    active := false;
+    let due = Event_queue.pop_due q ~now:!now in
+    let inboxes = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        match Fault_plan.crash_round plan e.dst with
+        | Some c when c <= !now ->
+          t.dropped <- t.dropped + 1;
+          (* A delivery eaten by a crash is activity exactly like a
+             gauntlet drop: the sender may be waiting on an ack that
+             will never come and needs its retry window kept open. *)
+          active := true
+        | _ ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.dst) in
+          Hashtbl.replace inboxes e.dst ((e.src, e.msg) :: prev))
+      due;
+    (* Deterministic node order keeps runs reproducible. *)
+    List.iter
+      (fun id ->
+        let alive =
+          match Fault_plan.crash_round plan id with Some c -> c > !now | None -> true
+        in
+        if alive then begin
+          let handler = Hashtbl.find t.nodes id in
+          let inbox = List.rev (Option.value ~default:[] (Hashtbl.find_opt inboxes id)) in
+          let out = handler ~now:!now ~inbox in
+          List.iter
+            (fun (dst, msg) ->
+              if Hashtbl.mem t.nodes dst then begin
+                t.sent <- t.sent + 1;
+                t.words <- t.words + Msg.size_words msg;
+                match gauntlet ~src:id ~dst with
+                | None -> ()
+                | Some extras ->
+                  List.iter
+                    (fun extra ->
+                      push ~time:(!now + sched_delay ~src:id ~dst + extra)
+                        { src = id; dst; msg })
+                    extras
+              end
+              else
+                (* Addressed to an unregistered (deleted) node: traceable,
+                   not silent. Not counted as a protocol send. *)
+                t.dropped <- t.dropped + 1)
+            out
+        end)
+      ids;
+    if Event_queue.is_empty q && not !active then begin
+      if !idle >= grace then begin
+        quiesced := true;
+        running := false
+      end
+      else incr idle
+    end
+    else idle := 0;
+    (* Synchronous schedule: tick every integer time (idle rounds and
+       delay gaps included), as the round model demands. Asynchronous:
+       jump straight to the next event, or tick once when only grace or
+       pending retries keep the run alive. *)
+    let next =
+      if sync then !now + 1
+      else
+        match Event_queue.min_time q with
+        | Some tm -> max (!now + 1) tm
+        | None -> !now + 1
+    in
+    now := next;
+    if !running && !now >= max_rounds then running := false
+  done;
+  {
+    rounds = min !now max_rounds;
+    messages = t.sent;
+    words = t.words;
+    converged = !quiesced;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    delayed = t.delayed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the pre-event-queue synchronous round loop, kept *)
+(* verbatim (plus the crashed-delivery activity fix, applied to both  *)
+(* engines) as the golden oracle the conformance property checks the  *)
+(* event-driven engine against.                                       *)
+
+type ref_envelope = { rsrc : int; rdst : int; rmsg : Msg.t; deliver_at : int }
+
+let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
   let pure = Fault_plan.is_none plan in
   let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
+  let inflight =
+    ref
+      (List.map (fun e -> { rsrc = e.src; rdst = e.dst; rmsg = e.msg; deliver_at = 0 })
+         t.initial)
+  in
   let round = ref 0 in
   let quiesced = ref false in
   let idle = ref 0 in
-  (* A send swallowed by the gauntlet still counts as network activity:
-     the sender is (or may be) mid-retry, and treating the round as idle
-     would let a lossy run quiesce out from under a protocol that was
-     about to resend — a blackout would read as convergence. *)
-  let faulted_send = ref false in
-  (* One send through the fault gauntlet: partition, drop, duplicate,
-     delay. Returns the envelopes actually entering the network. *)
+  let active = ref false in
   let faulted ~src ~dst msg =
     if Fault_plan.severed plan ~round:!round ~src ~dst then begin
       t.dropped <- t.dropped + 1;
-      faulted_send := true;
+      active := true;
       []
     end
     else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
     then begin
       t.dropped <- t.dropped + 1;
-      faulted_send := true;
+      active := true;
       []
     end
     else begin
@@ -80,34 +270,33 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
             end
             else 0
           in
-          { src; dst; msg; deliver_at = !round + 1 + extra })
+          { rsrc = src; rdst = dst; rmsg = msg; deliver_at = !round + 1 + extra })
     end
   in
-  (* Initial sends were enqueued before the plan was known; subject them
-     to the same gauntlet (as round −1 sends delivered at round 0+). *)
   if not pure then
-    t.inflight <-
+    inflight :=
       List.concat_map
         (fun e ->
           List.map
             (fun e' -> { e' with deliver_at = e'.deliver_at - 1 })
-            (faulted ~src:e.src ~dst:e.dst e.msg))
-        t.inflight;
+            (faulted ~src:e.rsrc ~dst:e.rdst e.rmsg))
+        !inflight;
   while (not !quiesced) && !round < max_rounds do
-    faulted_send := false;
-    let now, later = List.partition (fun e -> e.deliver_at <= !round) t.inflight in
+    active := false;
+    let due, later = List.partition (fun e -> e.deliver_at <= !round) !inflight in
     let inboxes = Hashtbl.create 16 in
     List.iter
       (fun e ->
-        match Fault_plan.crash_round plan e.dst with
-        | Some c when c <= !round -> t.dropped <- t.dropped + 1
+        match Fault_plan.crash_round plan e.rdst with
+        | Some c when c <= !round ->
+          t.dropped <- t.dropped + 1;
+          active := true
         | _ ->
-          let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.dst) in
-          Hashtbl.replace inboxes e.dst ((e.src, e.msg) :: prev))
-      now;
+          let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.rdst) in
+          Hashtbl.replace inboxes e.rdst ((e.rsrc, e.rmsg) :: prev))
+      due;
     let outgoing = ref [] in
-    (* Deterministic node order keeps runs reproducible. *)
-    let ids = List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes []) in
+    let ids = sorted_ids t in
     List.iter
       (fun id ->
         let alive =
@@ -116,27 +305,26 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
         if alive then begin
           let handler = Hashtbl.find t.nodes id in
           let inbox = List.rev (Option.value ~default:[] (Hashtbl.find_opt inboxes id)) in
-          let out = handler ~round:!round ~inbox in
+          let out = handler ~now:!round ~inbox in
           List.iter
             (fun (dst, msg) ->
               if Hashtbl.mem t.nodes dst then begin
                 t.sent <- t.sent + 1;
                 t.words <- t.words + Msg.size_words msg;
                 if pure then
-                  outgoing := { src = id; dst; msg; deliver_at = !round + 1 } :: !outgoing
+                  outgoing :=
+                    { rsrc = id; rdst = dst; rmsg = msg; deliver_at = !round + 1 }
+                    :: !outgoing
                 else
                   List.iter (fun e -> outgoing := e :: !outgoing) (faulted ~src:id ~dst msg)
               end
-              else
-                (* Addressed to an unregistered (deleted) node: traceable,
-                   not silent. Not counted as a protocol send. *)
-                t.dropped <- t.dropped + 1)
+              else t.dropped <- t.dropped + 1)
             out
         end)
       ids;
-    t.inflight <- !outgoing @ later;
+    inflight := !outgoing @ later;
     incr round;
-    if t.inflight = [] && not !faulted_send then begin
+    if !inflight = [] && not !active then begin
       if !idle >= grace then quiesced := true else incr idle
     end
     else idle := 0

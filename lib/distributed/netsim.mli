@@ -1,26 +1,43 @@
-(** Synchronous message-passing simulator (the LOCAL model of Figure 1):
-    in each round every node consumes the messages addressed to it in the
-    previous round and emits new ones. Round 0 steps every node with an
-    empty inbox (the "neighbours are informed of the deletion" wake-up);
-    execution stops at quiescence — a round in which nothing is in flight
-    and (for [grace] further rounds) nothing new is sent. The simulator
-    reports rounds and total messages, the paper's two efficiency
-    metrics, plus fault counters and an explicit [converged] flag so a
-    run that exhausts [max_rounds] can never be mistaken for a finished
-    one.
+(** Message-passing simulator, event-driven under the hood: a priority
+    queue of delivery events ordered by virtual time drives the run, and
+    a {!Schedule} decides how long each message stays in flight.
 
-    Faults ({!Fault_plan}) are injected between send and delivery: drops,
-    duplications, delays, link partitions, and scheduled node crashes.
-    With {!Fault_plan.none} (the default) the delivery schedule, round
-    count, and message/word totals are exactly those of the fault-free
-    simulator. *)
+    Under {!Schedule.sync} (the default) every message takes exactly one
+    time unit and every node is stepped at every integer time — the
+    paper's synchronous LOCAL round model (Figure 1), bit-identical to
+    the historical round loop (retained as {!run_reference} and pinned
+    by the conformance property in the test suite). Under
+    {!Schedule.async} there is no global round clock: per-message delays
+    are adversarially seeded within the fairness bound [F], the clock
+    jumps between event times, and [rounds] reports the virtual
+    time-to-quiescence instead of a round count.
+
+    Round 0 / time 0 steps every node with an empty inbox (the
+    "neighbours are informed of the deletion" wake-up); execution stops
+    at quiescence — a step at which nothing is in flight and (for
+    [grace] further steps) nothing new is sent. The simulator reports
+    time and total messages, the paper's two efficiency metrics, plus
+    fault counters and an explicit [converged] flag so a run that
+    exhausts [max_rounds] can never be mistaken for a finished one.
+
+    Faults ({!Fault_plan}) are injected between send and delivery:
+    drops, duplications, delays, link partitions, and scheduled node
+    crashes. With {!Fault_plan.none} (the default) the delivery
+    schedule, time, and message/word totals are exactly those of the
+    fault-free simulator. *)
 
 type t
 
-type handler = round:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
-(** [inbox] pairs each message with its sender; the result lists
-    [(destination, message)] pairs delivered next round. Handlers close
-    over their own node state. *)
+type handler = now:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
+(** [now] is the virtual time of the step (equal to the round number
+    under the synchronous schedule); [inbox] pairs each message with its
+    sender; the result lists [(destination, message)] pairs handed to
+    the network at [now]. Handlers close over their own node state.
+    Handlers that act on [now = k] equality for [k > 0] (the classic
+    tournament election does) assume the synchronous schedule, which
+    steps every integer time; schedule-agnostic handlers must use
+    elapsed-time comparisons ([now >= deadline]) instead, as the
+    [_robust] protocol variants do. *)
 
 val create : unit -> t
 
@@ -28,11 +45,15 @@ val add_node : t -> int -> handler -> unit
 (** @raise Invalid_argument on duplicate ids. *)
 
 val send_initial : t -> src:int -> dst:int -> Msg.t -> unit
-(** Seeds a message delivered in round 0 (counted). Initial messages run
-    the same fault gauntlet as round sends. *)
+(** Seeds a message delivered at time 0 (counted). Initial messages run
+    the same fault gauntlet and schedule as in-run sends. *)
 
 type stats = {
   rounds : int;
+      (** Virtual time at quiescence. Under the synchronous schedule
+          this is the LOCAL round count; under an asynchronous schedule
+          it is the time-to-quiescence E13 sweeps against the fairness
+          bound. *)
   messages : int;  (** Protocol sends; faulty copies are not re-counted. *)
   words : int;  (** Total CONGEST payload ({!Msg.size_words}) sent. *)
   converged : bool;
@@ -42,19 +63,41 @@ type stats = {
       (** Messages lost: random drops, partition cuts, and messages
           addressed to unregistered or crashed nodes. *)
   duplicated : int;  (** Extra copies injected by the duplication fault. *)
-  delayed : int;  (** Deliveries pushed at least one round late. *)
+  delayed : int;  (** Deliveries pushed at least one time unit late by faults. *)
 }
 
-val run : ?max_rounds:int -> ?plan:Fault_plan.t -> ?grace:int -> t -> stats
-(** Executes until quiescence or [max_rounds] (default 10_000).
+val run :
+  ?max_rounds:int ->
+  ?plan:Fault_plan.t ->
+  ?grace:int ->
+  ?schedule:Schedule.t ->
+  t ->
+  stats
+(** Executes until quiescence or virtual time [max_rounds]
+    (default 10_000).
 
-    [grace] (default 0) keeps the clock ticking for that many consecutive
-    idle rounds before declaring quiescence, stepping every node with an
-    empty inbox each time. Retry-based protocols need this: a node can
-    only resend a lost message if the round after the loss still happens.
-    A round is idle only if nothing is in flight {e and} no send was
-    swallowed by the fault gauntlet — a node whose retry was just dropped
-    is still actively working, so a lossy (even fully black-holed) run
-    cannot read as converged while senders are trying. With
-    [grace = 0] and no fault plan the run stops the first time nothing is
-    in flight, exactly like the original simulator. *)
+    [schedule] (default {!Schedule.sync}) picks the delivery model; the
+    default instantiates the event engine with all delays = 1, FIFO —
+    the synchronous round loop, bit-identical to {!run_reference}.
+
+    [grace] (default 0) keeps the clock ticking for that many
+    consecutive idle steps before declaring quiescence, stepping every
+    node with an empty inbox each time. Retry-based protocols need
+    this: a node can only resend a lost message if a step after the
+    loss still happens. A step is idle only if nothing is in flight
+    {e and} no send was swallowed by the fault gauntlet {e and} no
+    delivery was dropped on a crashed destination — a node whose retry
+    was just lost (either way) is still actively working, so a lossy
+    run cannot read as converged while senders are trying. With
+    [grace = 0], no fault plan, and the synchronous schedule the run
+    stops the first time nothing is in flight, exactly like the
+    original simulator. *)
+
+val run_reference :
+  ?max_rounds:int -> ?plan:Fault_plan.t -> ?grace:int -> t -> stats
+(** The pre-event-queue synchronous round loop, kept as the golden
+    oracle: on any workload, [run] with the default schedule must
+    produce identical stats (the conformance property in the test suite
+    gates the event engine on exactly this). Semantically it matches
+    [run ~schedule:Schedule.sync]; only the implementation differs
+    (explicit in-flight list walked round by round). *)

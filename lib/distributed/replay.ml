@@ -36,17 +36,18 @@ let combine_union clouds =
   | _ -> ());
   g
 
-let op ~rng ?plan ?max_rounds ~d = function
+let op ~rng ?plan ?schedule ?max_rounds ~d = function
   | Op.Primary_build { members } ->
-    Dist_repair.primary_build ~rng ?plan ?max_rounds ~d ~neighbors:members ()
+    Dist_repair.primary_build ~rng ?plan ?schedule ?max_rounds ~d ~neighbors:members ()
   | Op.Secondary_build { bridges } ->
-    Dist_repair.secondary_stitch ~rng ?plan ?max_rounds ~d ~bridges ()
+    Dist_repair.secondary_stitch ~rng ?plan ?schedule ?max_rounds ~d ~bridges ()
   | Op.Splice _ -> Dist_repair.splice ~d
   | Op.Combine { clouds } -> (
     let union = combine_union clouds in
     match Graph.nodes union with
     | [] -> zero
-    | initiator :: _ -> Dist_repair.combine ~rng ?plan ?max_rounds ~d ~union ~initiator ())
+    | initiator :: _ ->
+      Dist_repair.combine ~rng ?plan ?schedule ?max_rounds ~d ~union ~initiator ())
 
-let deletion ~rng ?plan ?max_rounds ~d ops =
-  List.fold_left (fun acc o -> plus acc (op ~rng ?plan ?max_rounds ~d o)) zero ops
+let deletion ~rng ?plan ?schedule ?max_rounds ~d ops =
+  List.fold_left (fun acc o -> plus acc (op ~rng ?plan ?schedule ?max_rounds ~d o)) zero ops

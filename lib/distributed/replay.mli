@@ -1,6 +1,7 @@
 (** Replays the engine's recorded repair operations
     ({!Xheal_core.Op.t}, from [Xheal.last_ops]) as actual protocols on
-    the synchronous simulator. This closes the loop between the engine's
+    the simulator (synchronous by default, or under any delivery
+    {!Schedule}). This closes the loop between the engine's
     closed-form cost accounting and measured protocol executions: E6
     uses it to measure real deletions end to end, and E12 replays them
     under fault injection. *)
@@ -8,6 +9,7 @@
 val op :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t ->
@@ -22,13 +24,16 @@ val op :
       paper notes stays mutually reachable during repair) — then one
       build over the union.
 
-    [plan] (default {!Fault_plan.none}) injects faults; with a faulty
-    plan the hardened protocol variants run and the returned
-    [converged] flag reports whether they all quiesced. *)
+    [plan] (default {!Fault_plan.none}) injects faults and [schedule]
+    (default {!Schedule.sync}) picks the delivery model; with a faulty
+    plan or an asynchronous schedule the hardened protocol variants run
+    and the returned [converged] flag reports whether they all
+    quiesced. *)
 
 val deletion :
   rng:Random.State.t ->
   ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t list ->

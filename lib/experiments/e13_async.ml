@@ -1,0 +1,98 @@
+module Table = Xheal_metrics.Table
+module Dist = Xheal_distributed.Dist_repair
+module Schedule = Xheal_distributed.Schedule
+
+(* No global clock: the Case-1 repair (robust election + robust cloud
+   build) re-run on the event-driven engine under adversarially seeded
+   delivery delays bounded by the fairness parameter F. F = 1 is the
+   synchronous schedule in disguise (every delay degenerates to one
+   time unit), so its row doubles as the baseline; the paper's O(log n)
+   round bound (E6) then re-reads as an O(F · log n) bound on virtual
+   time-to-quiescence. *)
+
+let max_rounds = 20_000
+
+let trial ~n ~d ~fairness ~t =
+  let rng = Exp.seeded (1301 + t) in
+  let neighbors = List.init n Fun.id in
+  let schedule = Schedule.async ~seed:((t * 149) + fairness) ~fairness in
+  Dist.primary_build ~rng ~schedule ~max_rounds ~d ~neighbors ()
+
+let run ~quick =
+  let n = if quick then 16 else 32 in
+  let trials = if quick then 6 else 12 in
+  let d = 2 in
+  let fairness_sweep = if quick then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let sync_classic =
+    (Dist.primary_build ~rng:(Exp.seeded 1300) ~d ~neighbors:(List.init n Fun.id) ())
+      .Dist.rounds
+  in
+  let ok = ref true in
+  let base_time = ref 0.0 in
+  let rows =
+    List.map
+      (fun fairness ->
+        let times = ref [] and msgs = ref [] and all_converged = ref true in
+        for t = 1 to trials do
+          let s = trial ~n ~d ~fairness ~t in
+          all_converged := !all_converged && s.Dist.converged;
+          times := float_of_int s.Dist.rounds :: !times;
+          msgs := float_of_int s.Dist.messages :: !msgs
+        done;
+        let mean_time = Common.mean !times in
+        let max_time = List.fold_left max 0.0 !times in
+        if fairness = 1 then base_time := mean_time;
+        (* The acceptance bound: time-to-quiescence stays within
+           O(F · sync-rounds). The constant absorbs the ack/retry
+           machinery the hardened protocols pay even at F = 1. *)
+        let budget = (6.0 *. float_of_int (fairness * sync_classic)) +. 24.0 in
+        ok := !ok && !all_converged && max_time <= budget;
+        [
+          string_of_int fairness;
+          Common.f ~d:1 mean_time;
+          Common.f ~d:1 max_time;
+          Common.f ~d:1 budget;
+          Common.f ~d:2 (if !base_time > 0.0 then mean_time /. !base_time else 0.0);
+          Common.f ~d:0 (Common.mean !msgs);
+          (if !all_converged then "yes" else "NO");
+        ])
+      fairness_sweep
+  in
+  let table =
+    Table.render
+      ~header:
+        [ "fairness F"; "mean time"; "max time"; "6*F*E6+24"; "slowdown"; "mean msgs";
+          "converged" ]
+      rows
+  in
+  {
+    Exp.table;
+    notes =
+      [
+        Exp.note_verdict !ok
+          "every asynchronous repair quiesced, and worst-case time-to-quiescence stays \
+           within O(F * E6-rounds) of the synchronous round bound";
+        Printf.sprintf
+          "Case-1 repair = robust election + robust cloud build over %d neighbours; %d \
+           seeded adversarial schedules per fairness value; synchronous E6 baseline = %d \
+           rounds" n trials sync_classic;
+        "F bounds the delivery delay of every in-flight message; the seeded adversary picks \
+         per-message delays (and hence reorderings) anywhere inside that window";
+        "F = 1 degenerates to the synchronous schedule, so the slowdown column prices \
+         asynchrony itself, not the retry machinery";
+        "fairness/liveness and sync-conformance are property-tested in test_async.ml; this \
+         sweep measures the time cost";
+      ];
+    ok = !ok;
+  }
+
+let exp =
+  {
+    Exp.id = "E13";
+    title = "Asynchrony: time-to-quiescence vs fairness";
+    claim =
+      "self-healing should not need a global round clock (DEX, Forgiving Graph); under \
+       unbounded-but-fair delivery the repair protocols still quiesce, in time O(F * log n) \
+       for fairness bound F";
+    run = (fun ~quick -> run ~quick);
+  }

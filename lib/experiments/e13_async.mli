@@ -1,0 +1,8 @@
+(** E13 (beyond the paper's tables): asynchronous delivery. The T5
+    round bound is proved in synchronous rounds, but the target networks
+    are asynchronous. This sweep re-runs the Case-1 repair on the
+    event-driven engine under adversarially seeded delays bounded by a
+    fairness parameter F and reports virtual time-to-quiescence, which
+    must stay within O(F · E6-rounds). *)
+
+val exp : Exp.t

@@ -12,6 +12,7 @@ let all =
     E10_timeline.exp;
     E11_routing.exp;
     E12_faults.exp;
+    E13_async.exp;
     A1_secondary.exp;
     A2_rebuild.exp;
     A3_batch.exp;

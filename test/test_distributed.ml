@@ -14,10 +14,10 @@ let rng () = Random.State.make [| 61 |]
 let test_netsim_delivery_next_round () =
   let net = Netsim.create () in
   let received_at = ref (-1) in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ ->
-      if round = 0 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round ~inbox ->
-      if inbox <> [] then received_at := round;
+  Netsim.add_node net 1 (fun ~now ~inbox:_ ->
+      if now = 0 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now ~inbox ->
+      if inbox <> [] then received_at := now;
       []);
   let stats = Netsim.run net in
   Alcotest.(check int) "delivered in round 1" 1 !received_at;
@@ -27,7 +27,7 @@ let test_netsim_delivery_next_round () =
 
 let test_netsim_drops_to_unknown () =
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (99, Msg.Hello) ] else []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (99, Msg.Hello) ] else []);
   let stats = Netsim.run net in
   Alcotest.(check int) "not counted as a send" 0 stats.Netsim.messages;
   Alcotest.(check int) "but counted as dropped" 1 stats.Netsim.dropped;
@@ -36,9 +36,9 @@ let test_netsim_drops_to_unknown () =
 let test_netsim_sender_identity () =
   let net = Netsim.create () in
   let senders = ref [] in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (3, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round ~inbox:_ -> if round = 0 then [ (3, Msg.Hello) ] else []);
-  Netsim.add_node net 3 (fun ~round:_ ~inbox ->
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (3, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now ~inbox:_ -> if now = 0 then [ (3, Msg.Hello) ] else []);
+  Netsim.add_node net 3 (fun ~now:_ ~inbox ->
       senders := List.map fst inbox @ !senders;
       []);
   ignore (Netsim.run net);
@@ -46,9 +46,9 @@ let test_netsim_sender_identity () =
 
 let test_netsim_duplicate_node_rejected () =
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round:_ ~inbox:_ -> []);
+  Netsim.add_node net 1 (fun ~now:_ ~inbox:_ -> []);
   Alcotest.check_raises "dup" (Invalid_argument "Netsim.add_node: duplicate id") (fun () ->
-      Netsim.add_node net 1 (fun ~round:_ ~inbox:_ -> []))
+      Netsim.add_node net 1 (fun ~now:_ ~inbox:_ -> []))
 
 (* ---------- Election ---------- *)
 
@@ -164,9 +164,9 @@ let test_msg_sizes () =
 
 let test_words_counted () =
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ ->
-      if round = 0 then [ (2, Msg.Edges [ (1, 2); (1, 3) ]) ] else []);
-  Netsim.add_node net 2 (fun ~round:_ ~inbox:_ -> []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ ->
+      if now = 0 then [ (2, Msg.Edges [ (1, 2); (1, 3) ]) ] else []);
+  Netsim.add_node net 2 (fun ~now:_ ~inbox:_ -> []);
   let stats = Netsim.run net in
   Alcotest.(check int) "one message" 1 stats.Netsim.messages;
   Alcotest.(check int) "four words" 4 stats.Netsim.words

@@ -8,6 +8,7 @@ module Graph = Xheal_graph.Graph
 module Netsim = Xheal_distributed.Netsim
 module Msg = Xheal_distributed.Msg
 module Fault_plan = Xheal_distributed.Fault_plan
+module Schedule = Xheal_distributed.Schedule
 module Election = Xheal_distributed.Election
 module Bfs_echo = Xheal_distributed.Bfs_echo
 module Cloud_build = Xheal_distributed.Cloud_build
@@ -59,20 +60,20 @@ let test_max_rounds_reports_nonconvergence () =
   (* A chatterbox that never quiesces: the old simulator returned stats
      indistinguishable from success here. *)
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round:_ ~inbox:_ -> [ (2, Msg.Hello) ]);
-  Netsim.add_node net 2 (fun ~round:_ ~inbox:_ -> []);
+  Netsim.add_node net 1 (fun ~now:_ ~inbox:_ -> [ (2, Msg.Hello) ]);
+  Netsim.add_node net 2 (fun ~now:_ ~inbox:_ -> []);
   let s = Netsim.run ~max_rounds:10 net in
   Alcotest.(check bool) "not converged" false s.Netsim.converged;
   Alcotest.(check int) "stopped at the cap" 10 s.Netsim.rounds;
   (* And a quiescent run still reports success. *)
   let net2 = Netsim.create () in
-  Netsim.add_node net2 1 (fun ~round ~inbox:_ -> if round = 0 then [ (1, Msg.Hello) ] else []);
+  Netsim.add_node net2 1 (fun ~now ~inbox:_ -> if now = 0 then [ (1, Msg.Hello) ] else []);
   let s2 = Netsim.run ~max_rounds:10 net2 in
   Alcotest.(check bool) "converged" true s2.Netsim.converged
 
 let test_unknown_destination_counted () =
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (99, Msg.Hello) ] else []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (99, Msg.Hello) ] else []);
   let s = Netsim.run net in
   Alcotest.(check int) "not a protocol send" 0 s.Netsim.messages;
   Alcotest.(check int) "but traceable" 1 s.Netsim.dropped
@@ -80,8 +81,8 @@ let test_unknown_destination_counted () =
 let test_drop_all_loses_message () =
   let received = ref false in
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round:_ ~inbox -> if inbox <> [] then received := true; []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now:_ ~inbox -> if inbox <> [] then received := true; []);
   let s = Netsim.run ~plan:(Fault_plan.make ~drop:1.0 ()) net in
   Alcotest.(check bool) "never delivered" false !received;
   Alcotest.(check int) "counted sent" 1 s.Netsim.messages;
@@ -91,8 +92,8 @@ let test_drop_all_loses_message () =
 let test_duplicate_delivers_twice () =
   let copies = ref 0 in
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round:_ ~inbox -> copies := !copies + List.length inbox; []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now:_ ~inbox -> copies := !copies + List.length inbox; []);
   let s = Netsim.run ~plan:(Fault_plan.make ~duplicate:1.0 ()) net in
   Alcotest.(check int) "two deliveries" 2 !copies;
   Alcotest.(check int) "one protocol send" 1 s.Netsim.messages;
@@ -101,8 +102,8 @@ let test_duplicate_delivers_twice () =
 let test_delay_postpones_delivery () =
   let arrived_at = ref (-1) in
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round = 0 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round ~inbox -> if inbox <> [] then arrived_at := round; []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now = 0 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now ~inbox -> if inbox <> [] then arrived_at := now; []);
   let s = Netsim.run ~plan:(Fault_plan.make ~seed:5 ~delay:1.0 ~max_delay:3 ()) net in
   Alcotest.(check bool) "arrived late" true (!arrived_at >= 2 && !arrived_at <= 4);
   Alcotest.(check int) "counted delayed" 1 s.Netsim.delayed;
@@ -113,10 +114,10 @@ let test_crash_silences_node () =
      crash at round 3 silences node 2 before the second ping lands. *)
   let echoes = ref 0 in
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox ->
+  Netsim.add_node net 1 (fun ~now ~inbox ->
       List.iter (fun (_, m) -> if m = Msg.Ack then incr echoes) inbox;
-      if round = 0 || round = 2 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round:_ ~inbox ->
+      if now = 0 || now = 2 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now:_ ~inbox ->
       List.map (fun (src, _) -> (src, Msg.Ack)) inbox);
   let s = Netsim.run ~plan:(Fault_plan.make ~crashes:[ (2, 3) ] ()) net in
   Alcotest.(check int) "only the pre-crash ping echoed" 1 !echoes;
@@ -125,8 +126,8 @@ let test_crash_silences_node () =
 let test_partition_severs_link () =
   let first = ref (-1) in
   let net = Netsim.create () in
-  Netsim.add_node net 1 (fun ~round ~inbox:_ -> if round < 8 then [ (2, Msg.Hello) ] else []);
-  Netsim.add_node net 2 (fun ~round ~inbox -> if inbox <> [] && !first < 0 then first := round; []);
+  Netsim.add_node net 1 (fun ~now ~inbox:_ -> if now < 8 then [ (2, Msg.Hello) ] else []);
+  Netsim.add_node net 2 (fun ~now ~inbox -> if inbox <> [] && !first < 0 then first := now; []);
   let plan =
     Fault_plan.make
       ~partitions:[ { Fault_plan.from_round = 0; until_round = 5; cut = [ (1, 2) ] } ]
@@ -136,6 +137,33 @@ let test_partition_severs_link () =
   (* Sends at rounds 0–4 are cut; the round-5 send lands at round 6. *)
   Alcotest.(check int) "first delivery after the cut heals" 6 !first;
   Alcotest.(check int) "five sends severed" 5 s.Netsim.dropped
+
+(* Seeded replays are deterministic: the same (plan seed, schedule,
+   protocol rng) triple must reproduce stats and result byte for byte —
+   on the event engine under both delivery schedules and on the
+   reference round loop. Without this, E12/E13 rows and shrunk QCheck
+   counterexamples would not be reproducible. *)
+let test_seeded_replay_deterministic () =
+  let plan = Fault_plan.make ~seed:11 ~drop:0.1 ~duplicate:0.15 ~delay:0.2 ~max_delay:3 () in
+  let exec engine =
+    let g = Gen.random_h_graph ~rng:(rng 13) 16 2 in
+    let net = Netsim.create () in
+    let get = Bfs_echo.install_robust net ~graph:g ~root:0 in
+    let s = engine net in
+    (s, get ())
+  in
+  let sync_engine net = Netsim.run ~plan ~max_rounds:600 ~grace:8 net in
+  let async_engine net =
+    Netsim.run ~plan ~schedule:(Schedule.async ~seed:7 ~fairness:5) ~max_rounds:2_000
+      ~grace:8 net
+  in
+  let reference net = Netsim.run_reference ~plan ~max_rounds:600 ~grace:8 net in
+  Alcotest.(check bool) "sync event engine replays" true (exec sync_engine = exec sync_engine);
+  Alcotest.(check bool) "async event engine replays" true
+    (exec async_engine = exec async_engine);
+  Alcotest.(check bool) "reference loop replays" true (exec reference = exec reference);
+  Alcotest.(check bool) "sync engine agrees with the reference loop" true
+    (exec sync_engine = exec reference)
 
 (* ---------- Robust election ---------- *)
 
@@ -310,6 +338,8 @@ let suite =
         Alcotest.test_case "delay postpones delivery" `Quick test_delay_postpones_delivery;
         Alcotest.test_case "crash silences a node" `Quick test_crash_silences_node;
         Alcotest.test_case "partition severs a link" `Quick test_partition_severs_link;
+        Alcotest.test_case "seeded replay is deterministic" `Quick
+          test_seeded_replay_deterministic;
       ] );
     ( "robust-protocols",
       [
