@@ -155,23 +155,26 @@ let run_micro () =
   let raw = Benchmark.all cfg instances (micro_tests ()) in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let merged = Analyze.merge ols instances results in
+  (* One section per measure (a single instance in practice); rows are
+     sorted by name below, so hash order never reaches the output. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun measure per_test ->
       Printf.printf "\n  [%s]\n" measure;
       let rows =
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let est =
-              match Analyze.OLS.estimates ols_result with
-              | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
-              | _ -> "            n/a"
-            in
-            (name, est) :: acc)
-          per_test []
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (Hashtbl.fold
+             (fun name ols_result acc ->
+               let est =
+                 match Analyze.OLS.estimates ols_result with
+                 | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
+                 | _ -> "            n/a"
+               in
+               (name, est) :: acc)
+             per_test [])
       in
-      List.iter
-        (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
-        (List.sort compare rows))
+      List.iter (fun (name, est) -> Printf.printf "  %-32s %s\n" name est) rows)
     merged;
   print_newline ()
 

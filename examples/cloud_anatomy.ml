@@ -7,7 +7,6 @@
    Run with: dune exec examples/cloud_anatomy.exe *)
 
 module Graph = Xheal_graph.Graph
-module Gen = Xheal_graph.Generators
 module Edge = Xheal_graph.Edge
 module Dot = Xheal_graph.Dot
 module Xheal = Xheal_core.Xheal

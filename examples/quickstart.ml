@@ -5,7 +5,6 @@
 
 module Graph = Xheal_graph.Graph
 module Generators = Xheal_graph.Generators
-module Xheal = Xheal_core.Xheal
 module Cost = Xheal_core.Cost
 module Expansion = Xheal_metrics.Expansion
 module Degree = Xheal_metrics.Degree

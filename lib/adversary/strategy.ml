@@ -130,7 +130,9 @@ let weighted_by_degree ~rng g k =
     end
     else total := 0.0
   done;
-  Hashtbl.fold (fun u () acc -> u :: acc) chosen []
+  (* Sorted: the hash-order list would leak into edge-insertion order
+     downstream and break seeded replay. *)
+  List.sort Int.compare (Hashtbl.fold (fun u () acc -> u :: acc) chosen [])
 
 let adaptive_churn ?(min_nodes = 4) ?(insert_prob = 0.5) ?(attach = 3) ~rng ~first_id () =
   let next_id = ref first_id in

@@ -22,6 +22,9 @@ let maximum ~left ~candidates =
       (candidates l)
   in
   Array.iter (fun l -> ignore (augment (Hashtbl.create 16) l)) left;
+  (* The final matching is injective (augmenting paths flip whole
+     chains), so inverting it is a set build. *)
+  (* xlint: order-independent *)
   Hashtbl.iter (fun v l -> Hashtbl.replace result l v) match_of_value;
   result
 
@@ -35,11 +38,15 @@ let assign_bridges ~units =
   else begin
     let matched = maximum ~left:ids ~candidates:(fun id -> Hashtbl.find cand_tbl id) in
     let used = Hashtbl.create 16 in
+    (* xlint: order-independent *) (* set build *)
     Hashtbl.iter (fun _ v -> Hashtbl.replace used v ()) matched;
     let leftovers =
-      Hashtbl.fold (fun f () acc -> if Hashtbl.mem used f then acc else f :: acc) all_free []
+      ref
+        (List.sort Int.compare
+           (Hashtbl.fold
+              (fun f () acc -> if Hashtbl.mem used f then acc else f :: acc)
+              all_free []))
     in
-    let leftovers = ref (List.sort Int.compare leftovers) in
     let take () =
       match !leftovers with
       | [] -> None

@@ -15,6 +15,10 @@ let create () =
     next_id = 0;
   }
 
+(* Lexicographic order on int pairs, replacing polymorphic compare. *)
+let compare_int_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let fresh_id t =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -107,7 +111,7 @@ let unlink_bridge t ~secondary ~bridge =
 let bridges_of_secondary t secondary =
   match Hashtbl.find_opt t.sec_assoc secondary with
   | None -> []
-  | Some tbl -> List.sort compare (Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl [])
+  | Some tbl -> List.sort compare_int_pair (Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl [])
 
 let unlink_all t ~secondary =
   List.iter (fun (b, _) -> unlink_bridge t ~secondary ~bridge:b) (bridges_of_secondary t secondary);
@@ -115,10 +119,12 @@ let unlink_all t ~secondary =
 
 let secondaries_of_primary t primary =
   let acc = ref [] in
+  (* xlint: order-independent *) (* collected pairs are sorted below *)
   Hashtbl.iter
+    (* xlint: order-independent *)
     (fun s tbl -> Hashtbl.iter (fun b p -> if p = primary then acc := (s, b) :: !acc) tbl)
     t.sec_assoc;
-  List.sort compare !acc
+  List.sort compare_int_pair !acc
 
 let primary_of_bridge t ~secondary ~bridge =
   match Hashtbl.find_opt t.sec_assoc secondary with
@@ -126,8 +132,12 @@ let primary_of_bridge t ~secondary ~bridge =
   | Some tbl -> Hashtbl.find_opt tbl bridge
 
 let retarget_primary t ~old_primary ~new_primary =
+  (* Every matching bridge gets the same new primary, so visit order
+     cannot matter. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun _ tbl ->
+      (* xlint: order-independent *)
       let moved = Hashtbl.fold (fun b p acc -> if p = old_primary then b :: acc else acc) tbl [] in
       List.iter (fun b -> Hashtbl.replace tbl b new_primary) moved)
     t.sec_assoc
@@ -141,7 +151,11 @@ let remove_node t node =
 let check t =
   let err = ref None in
   let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* The invariant sweeps below are annotated order-independent: visit
+     order only picks which of several violations is reported first;
+     whether the result is Ok or Error does not depend on it. *)
   (* Membership tables agree with cloud member sets. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun id c ->
       if Cloud.id c <> id then fail "cloud %d registered under id %d" (Cloud.id c) id;
@@ -150,8 +164,10 @@ let check t =
           | Some s when Hashtbl.mem s id -> ()
           | _ -> fail "member %d of cloud %d missing from node index" u id))
     t.clouds;
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun u s ->
+      (* xlint: order-independent *)
       Hashtbl.iter
         (fun id () ->
           match find t id with
@@ -161,6 +177,7 @@ let check t =
     t.node_clouds;
   (* Every secondary cloud's members are exactly its bridges, each
      associated with a live primary that contains it. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun id c ->
       match Cloud.kind c with
@@ -183,6 +200,7 @@ let check t =
           recs)
     t.clouds;
   (* Duties point at live secondaries that contain the node. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun b s ->
       match find t s with
@@ -191,6 +209,7 @@ let check t =
       | _ -> fail "duty of %d points at missing/non-secondary cloud %d" b s)
     t.bridge_duty;
   (* Association tables only reference live secondary clouds. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun s tbl ->
       if Hashtbl.length tbl > 0 then

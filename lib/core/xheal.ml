@@ -436,8 +436,11 @@ let delete_many t victims =
       (fun (_, _, clouds, _, _) ->
         List.iter (fun c -> Hashtbl.replace affected (Cloud.id c) c) clouds)
       info;
-    Hashtbl.iter
-      (fun _ c ->
+    (* Splice in ascending cloud-id order: each splice draws from
+       t.rng, so hash order here would change the draw sequence and
+       break seeded replay. *)
+    List.iter
+      (fun c ->
         List.iter
           (fun v ->
             if Cloud.mem c v then begin
@@ -451,7 +454,9 @@ let delete_many t victims =
           sync t ctx c;
           charge ctx "fix-cloud" (Cost.splice ~kappa:(kappa t))
         end)
-      affected;
+      (List.sort
+         (fun a b -> Int.compare (Cloud.id a) (Cloud.id b))
+         (Hashtbl.fold (fun _ c acc -> c :: acc) affected []));
     (* Phase 3: re-anchor secondary clouds that lost bridges. *)
     List.iter
       (fun (_, _, _, sec, assoc) ->

@@ -158,7 +158,13 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
                  others
           in
           if complete then begin
-            let collected = u :: Hashtbl.fold (fun _ addrs acc -> addrs @ acc) subtree [] in
+            (* Sorted: this list rides up in Subtree payloads, so hash
+               order here would make message transcripts depend on
+               insertion history rather than the seed alone. *)
+            let collected =
+              List.sort Int.compare
+                (u :: Hashtbl.fold (fun _ addrs acc -> addrs @ acc) subtree [])
+            in
             if u = root then begin
               if !result = None then result := Some (List.sort Int.compare collected)
             end

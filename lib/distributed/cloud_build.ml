@@ -1,6 +1,10 @@
 module Edge = Xheal_graph.Edge
 module Hgraph = Xheal_expander.Hgraph
 
+(* Lexicographic order on undirected-edge endpoint pairs. *)
+let compare_endpoints (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let plan_edges ~rng ~d members =
   let z = List.length members in
   if z <= 1 then []
@@ -80,7 +84,7 @@ let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
     members;
   let grace = (2 * retry_every) + 2 in
   let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
-  (stats, List.sort compare edges)
+  (stats, List.sort compare_endpoints edges)
 
 (* The classic build is purely message-driven after the time-0 leader
    wake-up, so it is safe on any schedule — but it has no retries, so
@@ -124,4 +128,4 @@ let run ~rng ~d ~leader ~members =
       Netsim.add_node net u handler)
     members;
   let stats = Netsim.run net in
-  (stats, List.sort compare edges)
+  (stats, List.sort compare_endpoints edges)

@@ -57,7 +57,7 @@ let sorted_ids t =
 (* precisely this.                                                    *)
 
 let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
-    ?(schedule = Schedule.sync) (t : t) =
+    ?(schedule = Schedule.sync) ?trace (t : t) =
   let pure = Fault_plan.is_none plan in
   let sync = Schedule.is_sync schedule in
   let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
@@ -152,6 +152,9 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
              will never come and needs its retry window kept open. *)
           active := true
         | _ ->
+          (match trace with
+          | Some f -> f ~now:!now ~src:e.src ~dst:e.dst e.msg
+          | None -> ());
           let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.dst) in
           Hashtbl.replace inboxes e.dst ((e.src, e.msg) :: prev))
       due;
@@ -226,7 +229,8 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
 
 type ref_envelope = { rsrc : int; rdst : int; rmsg : Msg.t; deliver_at : int }
 
-let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) (t : t) =
+let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) ?trace
+    (t : t) =
   let pure = Fault_plan.is_none plan in
   let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
   let inflight =
@@ -292,6 +296,9 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
           t.dropped <- t.dropped + 1;
           active := true
         | _ ->
+          (match trace with
+          | Some f -> f ~now:!round ~src:e.rsrc ~dst:e.rdst e.rmsg
+          | None -> ());
           let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.rdst) in
           Hashtbl.replace inboxes e.rdst ((e.rsrc, e.rmsg) :: prev))
       due;

@@ -71,10 +71,17 @@ val run :
   ?plan:Fault_plan.t ->
   ?grace:int ->
   ?schedule:Schedule.t ->
+  ?trace:(now:int -> src:int -> dst:int -> Msg.t -> unit) ->
   t ->
   stats
 (** Executes until quiescence or virtual time [max_rounds]
     (default 10_000).
+
+    [trace] (default: none) observes every delivered message, in
+    delivery order, just before it enters the destination inbox —
+    the full message transcript of the run. Two runs from the same
+    seeds must produce identical transcripts; the e2e determinism
+    regression in the test suite asserts exactly that.
 
     [schedule] (default {!Schedule.sync}) picks the delivery model; the
     default instantiates the event engine with all delays = 1, FIFO —
@@ -94,7 +101,12 @@ val run :
     original simulator. *)
 
 val run_reference :
-  ?max_rounds:int -> ?plan:Fault_plan.t -> ?grace:int -> t -> stats
+  ?max_rounds:int ->
+  ?plan:Fault_plan.t ->
+  ?grace:int ->
+  ?trace:(now:int -> src:int -> dst:int -> Msg.t -> unit) ->
+  t ->
+  stats
 (** The pre-event-queue synchronous round loop, kept as the golden
     oracle: on any workload, [run] with the default schedule must
     produce identical stats (the conformance property in the test suite

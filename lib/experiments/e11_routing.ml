@@ -1,5 +1,4 @@
 module Table = Xheal_metrics.Table
-module Graph = Xheal_graph.Graph
 module Gen = Xheal_graph.Generators
 module Repair = Xheal_routing.Repair
 module Congestion = Xheal_routing.Congestion

@@ -236,13 +236,15 @@ let preferential_attachment ~rng n k =
       let v = !urn.(Random.State.int rng !urn_len) in
       if v <> u then Hashtbl.replace targets v ()
     done;
-    Hashtbl.iter
-      (fun v () ->
+    (* Attach in sorted order: hash order would decide what lands in
+       the urn first and skew every later degree-proportional draw. *)
+    List.iter
+      (fun v ->
         if Graph.add_edge g u v then begin
           push u;
           push v
         end)
-      targets
+      (List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) targets []))
   done;
   g
 

@@ -147,5 +147,8 @@ let spanning_bfs_tree g root =
   let _, parent = bfs_with_parents g root in
   let t = Graph.create () in
   Graph.add_node t root;
+  (* Edge-set build: the resulting graph is the same whatever the
+     visit order. *)
+  (* xlint: order-independent *)
   Hashtbl.iter (fun v u -> ignore (Graph.add_edge t u v)) parent;
   t

@@ -19,6 +19,7 @@ let of_entries n entries =
       Hashtbl.replace tbl key (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl key)))
     entries;
   let per_row = Array.make n 0 in
+  (* xlint: order-independent *) (* counting *)
   Hashtbl.iter (fun (i, _) _ -> per_row.(i) <- per_row.(i) + 1) tbl;
   let row_ptr = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
@@ -27,6 +28,8 @@ let of_entries n entries =
   let total = row_ptr.(n) in
   let col = Array.make total 0 and value = Array.make total 0.0 in
   let cursor = Array.copy row_ptr in
+  (* Rows are re-sorted by column right below, erasing visit order. *)
+  (* xlint: order-independent *)
   Hashtbl.iter
     (fun (i, j) v ->
       let k = cursor.(i) in

@@ -1,0 +1,72 @@
+(* Checked-in allowlist for intentional findings.
+
+   One entry per line:
+
+     # comment
+     D2 lib/graph/graph.ml          — whole file, one rule
+     D2 lib/graph/graph.ml:14       — one line
+     *  lib/vendored/               — any rule, directory prefix
+
+   Paths are repo-relative, exactly as xlint prints them. *)
+
+type entry = { rule : string; path : string; line : int option }
+type t = entry list
+
+let parse_entry line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ rule; target ] -> (
+    match String.rindex_opt target ':' with
+    | Some i -> (
+      let path = String.sub target 0 i in
+      let ln = String.sub target (i + 1) (String.length target - i - 1) in
+      match int_of_string_opt ln with
+      | Some n -> Ok (Some { rule; path; line = Some n })
+      | None -> Error "malformed line number")
+    | None -> Ok (Some { rule; path = target; line = None }))
+  | _ -> Error "expected: RULE PATH[:LINE]"
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] and errors = ref [] and line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           match parse_entry line with
+           | Ok (Some e) -> entries := e :: !entries
+           | Ok None -> ()
+           | Error msg -> errors := Printf.sprintf "%s:%d: %s" path !line_no msg :: !errors
+         done
+       with End_of_file -> ());
+      if !errors = [] then Ok (List.rev !entries) else Error (List.rev !errors))
+
+let matches_path entry path =
+  if entry.path = path then true
+  else
+    let n = String.length entry.path in
+    n > 0 && entry.path.[n - 1] = '/'
+    && String.length path >= n
+    && String.sub path 0 n = entry.path
+
+let allows (t : t) ~rule ~path ~line =
+  List.exists
+    (fun e ->
+      (e.rule = rule || e.rule = "*")
+      && matches_path e path
+      && match e.line with None -> true | Some l -> l = line)
+    t
+
+let empty : t = []

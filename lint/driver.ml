@@ -1,0 +1,120 @@
+(* xlint driver: find sources, parse, run rules, filter suppressions,
+   report.  Everything is deterministic: files are visited in sorted
+   order and findings are sorted by (file, line, col, rule). *)
+
+let parse_implementation path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)
+
+(* A file the compiler cannot parse gets a synthetic E0 finding rather
+   than aborting the whole run. *)
+let parse_error_finding ~path exn =
+  let line, col =
+    match exn with
+    | Syntaxerr.Error e ->
+      let p = (Syntaxerr.location_of_error e).Location.loc_start in
+      (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+    | _ -> (1, 0)
+  in
+  {
+    Rules.rule = "E0";
+    file = path;
+    line;
+    col;
+    message = Printf.sprintf "cannot parse: %s" (Printexc.to_string exn);
+  }
+
+(* Lint one file. [as_path] is the repo-relative path used for rule
+   applicability and reporting; it defaults to [path] and exists so
+   tests can lint a fixture as if it lived under lib/. *)
+let lint_file ?(rules = Rules.all) ?(allow = Allowlist.empty) ?as_path path =
+  let rel = Option.value ~default:path as_path in
+  match parse_implementation path with
+  | exception exn -> [ parse_error_finding ~path:rel exn ]
+  | structure ->
+    let pragmas = Pragma.scan_file path in
+    let ctx = { Rules.path = rel } in
+    rules
+    |> List.concat_map (fun r -> if r.Rules.applies rel then r.Rules.check ctx structure else [])
+    |> List.filter (fun f ->
+           not (Pragma.disabled pragmas ~line:f.Rules.line ~rule:f.Rules.rule))
+    |> List.filter (fun f ->
+           not (Allowlist.allows allow ~rule:f.Rules.rule ~path:rel ~line:f.Rules.line))
+    |> List.sort Rules.compare_findings
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec collect_ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name.[0] <> '_')
+    |> List.concat_map (fun name -> collect_ml_files (Filename.concat path name))
+  else if is_ml path then [ path ]
+  else []
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.Rules.file f.Rules.line f.Rules.col
+    f.Rules.rule f.Rules.message
+
+(* Lint every .ml under [dirs]; returns all findings, sorted. *)
+let run ?rules ?allow dirs =
+  dirs
+  |> List.concat_map collect_ml_files
+  |> List.concat_map (fun path -> lint_file ?rules ?allow path)
+  |> List.sort Rules.compare_findings
+
+let report ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) findings;
+  if findings <> [] then
+    Format.fprintf ppf "xlint: %d finding(s)@." (List.length findings)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture self-test: the corpus encodes its expectations in file     *)
+(* names.  [dN_bad*.ml] must produce at least one DN finding and      *)
+(* [dN_good*.ml] must produce none; every fixture is linted as if it  *)
+(* lived at lib/distributed/<name> so all rules are in scope.         *)
+
+let fixture_rule name =
+  match String.index_opt name '_' with
+  | Some i -> Some (String.uppercase_ascii (String.sub name 0 i))
+  | None -> None
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let self_test ppf dir =
+  let failures = ref 0 in
+  let check path =
+    let name = Filename.basename path in
+    let findings = lint_file ~as_path:("lib/distributed/" ^ name) path in
+    let fail fmt =
+      incr failures;
+      Format.fprintf ppf ("FAIL %s: " ^^ fmt ^^ "@.") name
+    in
+    match fixture_rule name with
+    | Some rule when contains ~sub:"_bad" name ->
+      if not (List.exists (fun f -> f.Rules.rule = rule) findings) then
+        fail "expected a %s finding, got %d finding(s)" rule (List.length findings)
+    | Some _ when contains ~sub:"_good" name ->
+      if findings <> [] then begin
+        fail "expected no findings:";
+        List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) findings
+      end
+    | _ -> fail "fixture name must look like d1_bad*.ml or d1_good*.ml"
+  in
+  let files = collect_ml_files dir in
+  if files = [] then begin
+    Format.fprintf ppf "xlint --fixtures: no .ml files under %s@." dir;
+    incr failures
+  end;
+  List.iter check files;
+  if !failures = 0 then
+    Format.fprintf ppf "xlint: fixture self-test ok (%d fixtures)@." (List.length files);
+  !failures = 0

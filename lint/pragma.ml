@@ -1,0 +1,72 @@
+(* In-source suppression pragmas.
+
+   A finding on line L is suppressed when line L or line L-1 carries a
+   pragma disabling its rule:
+
+     (* xlint: disable=D2 *)
+     (* xlint: disable=D1,D4 *)
+     (* xlint: order-independent *)        (alias for disable=D2)
+
+   Scanning is textual (comments never reach the Parsetree), one pass
+   over the file, no regex dependency. *)
+
+type t = (int, string list) Hashtbl.t (* line (1-based) -> disabled rule ids *)
+
+let find_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let is_token_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+  || c = ',' || c = '=' || c = '-'
+
+(* The directive token following "xlint:", e.g. "disable=D1,D2". *)
+let directive_after line i =
+  let n = String.length line in
+  let rec skip_ws j = if j < n && (line.[j] = ' ' || line.[j] = '\t') then skip_ws (j + 1) else j in
+  let start = skip_ws i in
+  let rec stop j = if j < n && is_token_char line.[j] then stop (j + 1) else j in
+  let fin = stop start in
+  if fin > start then Some (String.sub line start (fin - start)) else None
+
+let rules_of_directive d =
+  if d = "order-independent" then [ "D2" ]
+  else
+    match String.index_opt d '=' with
+    | Some i when String.sub d 0 i = "disable" ->
+      String.split_on_char ',' (String.sub d (i + 1) (String.length d - i - 1))
+      |> List.filter (fun s -> s <> "")
+    | _ -> []
+
+let scan_line t ~line_no line =
+  match find_sub ~sub:"xlint:" line with
+  | None -> ()
+  | Some i -> (
+    match directive_after line (i + String.length "xlint:") with
+    | None -> ()
+    | Some d ->
+      let rules = rules_of_directive d in
+      if rules <> [] then
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t line_no) in
+        Hashtbl.replace t line_no (rules @ prev))
+
+let scan_file path =
+  let t = Hashtbl.create 8 in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           scan_line t ~line_no:!line_no line
+         done
+       with End_of_file -> ());
+      t)
+
+let disabled t ~line ~rule =
+  let at l = match Hashtbl.find_opt t l with Some rs -> List.mem rule rs | None -> false in
+  at line || at (line - 1)

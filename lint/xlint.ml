@@ -1,0 +1,45 @@
+(* xlint — determinism-enforcing static analysis for the Xheal stack.
+
+   Usage:
+     xlint [--allow FILE] DIR...      lint every .ml under DIRs
+     xlint --fixtures DIR             run the fixture self-test corpus
+
+   Exit status is 0 iff no findings (respectively: all fixture
+   expectations hold). *)
+
+let () =
+  let allow_file = ref None in
+  let fixtures = ref None in
+  let dirs = ref [] in
+  let spec =
+    [
+      ( "--allow",
+        Arg.String (fun f -> allow_file := Some f),
+        "FILE checked-in allowlist (RULE PATH[:LINE] per line)" );
+      ( "--fixtures",
+        Arg.String (fun d -> fixtures := Some d),
+        "DIR run the fixture self-test over DIR instead of linting" );
+    ]
+  in
+  let usage = "xlint [--allow FILE] DIR... | xlint --fixtures DIR" in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  match !fixtures with
+  | Some dir -> if Xheal_lint.Driver.self_test Format.std_formatter dir then exit 0 else exit 1
+  | None ->
+    if !dirs = [] then begin
+      prerr_endline usage;
+      exit 2
+    end;
+    let allow =
+      match !allow_file with
+      | None -> Xheal_lint.Allowlist.empty
+      | Some f -> (
+        match Xheal_lint.Allowlist.load f with
+        | Ok a -> a
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          exit 2)
+    in
+    let findings = Xheal_lint.Driver.run ~allow (List.rev !dirs) in
+    Xheal_lint.Driver.report Format.std_formatter findings;
+    if findings = [] then exit 0 else exit 1

@@ -1,0 +1,4 @@
+(* D1: global PRNG draws — both must be flagged. *)
+let () = Random.self_init ()
+let roll () = Random.int 6
+let coin () = Random.bool ()

@@ -1,0 +1,4 @@
+(* D1: explicit Random.State threading is the sanctioned API. *)
+let rng = Random.State.make [| 42 |]
+let roll () = Random.State.int rng 6
+let coin () = Random.State.bool rng

@@ -1,0 +1,2 @@
+(* D2: the fold result escapes in hash order. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

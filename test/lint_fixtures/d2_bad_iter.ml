@@ -1,0 +1,5 @@
+(* D2: the iter side effect records hash order in a list. *)
+let keys tbl =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;
+  !acc

@@ -1,0 +1,3 @@
+(* D2: commutative reductions are order-insensitive. *)
+let total tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let widest tbl = Hashtbl.fold (fun _ v acc -> max v acc) tbl 0

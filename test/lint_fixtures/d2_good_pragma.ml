@@ -1,0 +1,11 @@
+(* D2: annotated sites are intentional. *)
+let mark tbl seen =
+  (* xlint: order-independent *)
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) tbl
+
+let mark_same_line tbl seen =
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) tbl (* xlint: order-independent *)
+
+let mark_disable tbl seen =
+  (* xlint: disable=D2 *)
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) tbl

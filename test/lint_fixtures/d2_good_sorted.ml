@@ -1,0 +1,7 @@
+(* D2: an enclosing sort canonicalises the escaping result. *)
+let keys tbl = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let pairs tbl =
+  List.sort_uniq
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

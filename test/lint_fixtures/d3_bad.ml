@@ -1,0 +1,4 @@
+(* D3: wall-clock reads inside lib/. *)
+let started = Sys.time ()
+let stamp () = Unix.gettimeofday ()
+let seconds () = Unix.time ()

@@ -1,0 +1,2 @@
+(* D3: handlers are functions of the virtual clock only. *)
+let handler ~now ~inbox = if now > 0 then inbox else []

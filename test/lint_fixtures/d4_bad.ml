@@ -1,0 +1,4 @@
+(* D4: polymorphic compare in the protocol layers. *)
+let sorted xs = List.sort compare xs
+let eq_pair a b c d = (a, b) = (c, d)
+let ne_pair a b c d = (a, b) <> (c, d)

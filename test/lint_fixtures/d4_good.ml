@@ -1,0 +1,7 @@
+(* D4: dedicated comparators, and atomic option tests stay legal. *)
+let sorted xs = List.sort Int.compare xs
+
+let eq_pair (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+let is_unset x = x = None
+let is_child s = s <> Some 1

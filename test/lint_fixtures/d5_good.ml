@@ -1,0 +1,7 @@
+(* D5: match on the checker instead of ignoring it. *)
+let check _g = Ok ()
+
+let verify g = match check g with Ok () -> () | Error msg -> failwith msg
+
+(* ignore of a non-Result is fine. *)
+let tick counter = ignore (incr counter)

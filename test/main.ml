@@ -5,4 +5,5 @@ let () =
    @ Test_expander.suite @ Test_cost.suite @ Test_ownership.suite @ Test_cloud.suite
    @ Test_registry.suite @ Test_matching.suite @ Test_xheal.suite @ Test_xheal_prop.suite
    @ Test_baselines.suite @ Test_adversary.suite @ Test_metrics.suite @ Test_distributed.suite
-   @ Test_experiments.suite @ Test_batch.suite @ Test_exhaustive.suite @ Test_misc.suite @ Test_routing.suite @ Test_replay.suite @ Test_faults.suite @ Test_async.suite @ Test_coverage.suite)
+   @ Test_experiments.suite @ Test_batch.suite @ Test_exhaustive.suite @ Test_misc.suite @ Test_routing.suite @ Test_replay.suite @ Test_faults.suite @ Test_async.suite @ Test_coverage.suite
+   @ Test_lint.suite @ Test_determinism.suite)

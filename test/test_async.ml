@@ -122,7 +122,7 @@ let check_conformant ?plan ?grace name mk =
     (s, get ())
   in
   let a, ra = run (fun ?max_rounds ?plan ?grace net -> Netsim.run ?max_rounds ?plan ?grace net) in
-  let b, rb = run Netsim.run_reference in
+  let b, rb = run (fun ?max_rounds ?plan ?grace net -> Netsim.run_reference ?max_rounds ?plan ?grace net) in
   Alcotest.(check bool) (name ^ ": identical stats") true (a = b);
   Alcotest.(check bool) (name ^ ": identical result") true (ra = rb);
   (a, ra)

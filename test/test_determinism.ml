@@ -1,0 +1,101 @@
+(* End-to-end determinism regression: the replay/conformance invariant
+   that xlint (lint/) enforces statically, checked dynamically.  An
+   E13-style repair — robust BFS-echo collection plus robust election —
+   is run twice from the same seeds under an adversarial asynchronous
+   schedule with a lossy fault plan, and the two runs must produce
+   identical message transcripts and identical stats.  A future
+   determinism break (global RNG, hash-order escape, wall-clock read)
+   fails this test even if every lint rule misses it. *)
+
+module Gen = Xheal_graph.Generators
+module Graph = Xheal_graph.Graph
+module Netsim = Xheal_distributed.Netsim
+module Msg = Xheal_distributed.Msg
+module Fault_plan = Xheal_distributed.Fault_plan
+module Schedule = Xheal_distributed.Schedule
+module Election = Xheal_distributed.Election
+module Bfs_echo = Xheal_distributed.Bfs_echo
+module Dist = Xheal_distributed.Dist_repair
+
+let rng seed = Random.State.make [| seed |]
+
+type event = { at : int; src : int; dst : int; msg : Msg.t }
+
+let pp_event ppf e =
+  Format.fprintf ppf "t=%d %d->%d %a" e.at e.src e.dst Msg.pp e.msg
+
+let event = Alcotest.testable pp_event (fun a b -> a = b)
+
+let stats =
+  Alcotest.testable
+    (fun ppf (s : Netsim.stats) ->
+      Format.fprintf ppf
+        "rounds=%d messages=%d words=%d converged=%b dropped=%d duplicated=%d delayed=%d"
+        s.rounds s.messages s.words s.converged s.dropped s.duplicated s.delayed)
+    (fun (a : Netsim.stats) b -> a = b)
+
+let plan () = Fault_plan.make ~seed:77 ~drop:0.12 ~duplicate:0.08 ~delay:0.2 ~max_delay:3 ()
+let schedule () = Schedule.async ~seed:904 ~fairness:4
+
+(* One full repair attempt with the message transcript recorded. *)
+let bfs_collection () =
+  let graph = Gen.connected_er ~rng:(rng 2026) 24 0.18 in
+  let net = Netsim.create () in
+  let get = Bfs_echo.install_robust net ~graph ~root:0 in
+  let transcript = ref [] in
+  let trace ~now ~src ~dst msg = transcript := { at = now; src; dst; msg } :: !transcript in
+  let stats =
+    Netsim.run ~max_rounds:4_000 ~plan:(plan ()) ~grace:8 ~schedule:(schedule ()) ~trace net
+  in
+  (List.rev !transcript, stats, get ())
+
+let election () =
+  let net = Netsim.create () in
+  let get = Election.install_robust ~rng:(rng 5) net (List.init 16 Fun.id) in
+  let transcript = ref [] in
+  let trace ~now ~src ~dst msg = transcript := { at = now; src; dst; msg } :: !transcript in
+  let stats =
+    Netsim.run ~max_rounds:4_000 ~plan:(plan ()) ~grace:8 ~schedule:(schedule ()) ~trace net
+  in
+  (List.rev !transcript, stats, get ())
+
+let check_identical name run check_result =
+  let t1, s1, r1 = run () in
+  let t2, s2, r2 = run () in
+  Alcotest.(check bool) (name ^ ": transcript non-trivial") true (List.length t1 > 10);
+  Alcotest.(check (list event)) (name ^ ": transcripts identical") t1 t2;
+  Alcotest.check stats (name ^ ": stats identical") s1 s2;
+  check_result r1 r2
+
+let test_bfs_transcript () =
+  check_identical "bfs-echo" bfs_collection (fun r1 r2 ->
+      Alcotest.(check (option (list int))) "collected identical" r1 r2)
+
+let test_election_transcript () =
+  check_identical "election" election (fun r1 r2 ->
+      Alcotest.(check (option int)) "leader identical" r1 r2)
+
+(* The composite repair pipeline (election + cloud build + splice
+   accounting) re-run from the same seeds must agree on aggregate
+   stats too — this is the user-facing Dist_repair surface. *)
+let test_repair_stats () =
+  let run () =
+    Dist.primary_build ~rng:(rng 11) ~plan:(plan ()) ~schedule:(schedule ())
+      ~max_rounds:4_000 ~d:2 ~neighbors:(List.init 20 Fun.id) ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "repair stats identical" true (a = b);
+  Alcotest.(check bool) "repair converged" true a.Dist.converged
+
+let suite =
+  [
+    ( "e2e-determinism",
+      [
+        Alcotest.test_case "bfs-echo transcript replays bit-identically" `Quick
+          test_bfs_transcript;
+        Alcotest.test_case "election transcript replays bit-identically" `Quick
+          test_election_transcript;
+        Alcotest.test_case "composite repair stats replay identically" `Quick
+          test_repair_stats;
+      ] );
+  ]

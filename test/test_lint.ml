@@ -1,0 +1,126 @@
+(* xlint unit tests over the fixture corpus in test/lint_fixtures/.
+   The dune test stanza declares the fixtures as deps, so paths here
+   are relative to the test's working directory.  The complementary
+   checks live in the @lint alias: the fixture self-test (every bad
+   fixture fires, every good one is silent) and the zero-findings run
+   over the real tree. *)
+
+module Rules = Xheal_lint.Rules
+module Driver = Xheal_lint.Driver
+module Allowlist = Xheal_lint.Allowlist
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* Lint a fixture as if it lived under lib/distributed/, where every
+   rule is in scope. *)
+let lint ?allow name =
+  Driver.lint_file ?allow ~as_path:("lib/distributed/" ^ name) (fixture name)
+
+let rule_lines findings = List.map (fun f -> (f.Rules.rule, f.Rules.line)) findings
+
+let finding_t = Alcotest.(list (pair string int))
+
+let check_findings name expected ?allow file =
+  Alcotest.check finding_t name expected (rule_lines (lint ?allow file))
+
+let test_d1 () =
+  check_findings "d1 flags every global draw"
+    [ ("D1", 2); ("D1", 3); ("D1", 4) ]
+    "d1_bad.ml";
+  check_findings "Random.State is sanctioned" [] "d1_good_state.ml"
+
+let test_d2 () =
+  check_findings "escaping fold" [ ("D2", 2) ] "d2_bad_fold.ml";
+  check_findings "escaping iter" [ ("D2", 4) ] "d2_bad_iter.ml";
+  check_findings "enclosing sort canonicalises" [] "d2_good_sorted.ml";
+  check_findings "commutative reduction exempt" [] "d2_good_commutative.ml"
+
+let test_d3 () =
+  check_findings "wall-clock reads in lib/"
+    [ ("D3", 2); ("D3", 3); ("D3", 4) ]
+    "d3_bad.ml";
+  check_findings "virtual clock only" [] "d3_good_virtual.ml";
+  (* The same file outside lib/ is none of D3's business. *)
+  Alcotest.check finding_t "bench may read the clock" []
+    (rule_lines (Driver.lint_file ~as_path:"bench/d3_bad.ml" (fixture "d3_bad.ml")))
+
+let test_d4 () =
+  check_findings "polymorphic compare and structured (=)"
+    [ ("D4", 2); ("D4", 3); ("D4", 4) ]
+    "d4_bad.ml";
+  check_findings "dedicated comparators and atomic option tests" [] "d4_good.ml";
+  (* D4 is scoped to the protocol layers. *)
+  Alcotest.check finding_t "linalg is out of scope" []
+    (rule_lines (Driver.lint_file ~as_path:"lib/linalg/d4_bad.ml" (fixture "d4_bad.ml")))
+
+let test_d5 () =
+  check_findings "ignored Results"
+    [ ("D5", 3); ("D5", 4); ("D5", 5) ]
+    "d5_bad.ml";
+  check_findings "matched Result and benign ignore" [] "d5_good.ml"
+
+let test_pragmas () =
+  check_findings "preceding-line, same-line and disable= pragmas" []
+    "d2_good_pragma.ml";
+  (* A pragma for one rule must not silence another. *)
+  let findings =
+    Driver.lint_file
+      ~rules:Rules.all
+      ~as_path:"lib/distributed/d1_bad.ml"
+      (fixture "d1_bad.ml")
+  in
+  Alcotest.(check bool) "D1 findings survive unrelated pragmas" true (findings <> [])
+
+let test_allowlist () =
+  let whole_file = [ { Allowlist.rule = "D2"; path = "lib/distributed/d2_bad_fold.ml"; line = None } ] in
+  check_findings "whole-file entry suppresses" [] ~allow:whole_file "d2_bad_fold.ml";
+  let right_line = [ { Allowlist.rule = "D2"; path = "lib/distributed/d2_bad_fold.ml"; line = Some 2 } ] in
+  check_findings "line entry suppresses its line" [] ~allow:right_line "d2_bad_fold.ml";
+  let wrong_line = [ { Allowlist.rule = "D2"; path = "lib/distributed/d2_bad_fold.ml"; line = Some 99 } ] in
+  check_findings "wrong line does not suppress" [ ("D2", 2) ] ~allow:wrong_line "d2_bad_fold.ml";
+  let wrong_rule = [ { Allowlist.rule = "D1"; path = "lib/distributed/d2_bad_fold.ml"; line = None } ] in
+  check_findings "wrong rule does not suppress" [ ("D2", 2) ] ~allow:wrong_rule "d2_bad_fold.ml";
+  let dir_prefix = [ { Allowlist.rule = "*"; path = "lib/distributed/"; line = None } ] in
+  check_findings "directory prefix suppresses everything" [] ~allow:dir_prefix "d2_bad_fold.ml"
+
+let test_allowlist_parsing () =
+  (match Allowlist.parse_entry "D2 lib/graph/graph.ml:14" with
+  | Ok (Some e) ->
+    Alcotest.(check string) "rule" "D2" e.Allowlist.rule;
+    Alcotest.(check string) "path" "lib/graph/graph.ml" e.Allowlist.path;
+    Alcotest.(check (option int)) "line" (Some 14) e.Allowlist.line
+  | _ -> Alcotest.fail "expected a parsed entry");
+  (match Allowlist.parse_entry "  # a comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comments parse to nothing");
+  match Allowlist.parse_entry "too many fields here" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed entries are rejected"
+
+let test_parse_error () =
+  (* An unparseable file must surface as a finding, not an exception. *)
+  let tmp = Filename.temp_file "xlint_bad" ".ml" in
+  let oc = open_out tmp in
+  output_string oc "let let let = in in\n";
+  close_out oc;
+  let findings = Driver.lint_file ~as_path:"lib/broken.ml" tmp in
+  Sys.remove tmp;
+  match findings with
+  | [ f ] -> Alcotest.(check string) "E0 rule" "E0" f.Rules.rule
+  | fs -> Alcotest.fail (Printf.sprintf "expected one E0 finding, got %d" (List.length fs))
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "D1 global randomness" `Quick test_d1;
+        Alcotest.test_case "D2 hash-order escape" `Quick test_d2;
+        Alcotest.test_case "D3 wall-clock in lib/" `Quick test_d3;
+        Alcotest.test_case "D4 polymorphic compare" `Quick test_d4;
+        Alcotest.test_case "D5 ignored Result" `Quick test_d5;
+        Alcotest.test_case "suppression pragmas" `Quick test_pragmas;
+        Alcotest.test_case "allowlist semantics" `Quick test_allowlist;
+        Alcotest.test_case "allowlist parsing" `Quick test_allowlist_parsing;
+        Alcotest.test_case "parse errors become findings" `Quick test_parse_error;
+      ] );
+  ]

@@ -100,4 +100,4 @@ let prop_grind =
       !sound)
 
 let suite =
-  [ ("xheal-properties", List.map QCheck_alcotest.to_alcotest (tests @ [ prop_grind ])) ]
+  [ ("xheal-properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) (tests @ [ prop_grind ])) ]
