@@ -1,0 +1,79 @@
+(* Validates BENCH_<name>.json files against the xheal-bench/1 schema:
+   parseable JSON carrying a wall-clock timing, a mode, and — when a
+   phases array is present — well-formed per-phase message counts with
+   at least one message recorded. Used by the @bench-smoke alias; exits
+   non-zero with a diagnostic on the first violation. *)
+
+module J = Xheal_obs.Jsonw
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let get name json = match J.member name json with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let get_string name json =
+  match get name json with J.String s -> s | _ -> fail "field %S is not a string" name
+
+let get_int name json =
+  match get name json with J.Int i -> i | _ -> fail "field %S is not an integer" name
+
+let get_number name json =
+  match get name json with
+  | J.Int i -> float_of_int i
+  | J.Float f -> f
+  | _ -> fail "field %S is not a number" name
+
+let check_phase = function
+  | J.Obj _ as row ->
+    let phase = get_string "phase" row in
+    if String.length phase = 0 then fail "empty phase name";
+    let messages = get_int "messages" row in
+    let rounds = get_int "rounds" row in
+    if messages < 0 || rounds < 0 then fail "phase %S has negative counts" phase;
+    messages
+  | _ -> fail "phases element is not an object"
+
+let check_file path =
+  let json =
+    match J.of_string (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "unparseable JSON: %s" e
+  in
+  let schema = get_string "schema" json in
+  if not (String.equal schema "xheal-bench/1") then fail "unknown schema %S" schema;
+  let name = get_string "name" json in
+  if String.length name = 0 then fail "empty bench name";
+  (match get_string "mode" json with
+  | "quick" | "full" -> ()
+  | m -> fail "unknown mode %S" m);
+  let wall = get_number "wall_ms" json in
+  if not (wall >= 0.) then fail "wall_ms = %f is not a valid timing" wall;
+  (match J.member "phases" json with
+  | Some (J.List rows) ->
+    if rows = [] then fail "phases array is empty";
+    let total = List.fold_left (fun acc row -> acc + check_phase row) 0 rows in
+    if total <= 0 then fail "phases carry no messages"
+  | Some _ -> fail "field \"phases\" is not an array"
+  | None -> ());
+  Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: bench_check FILE.json...";
+    exit 2
+  end;
+  try List.iter check_file files
+  with Bad msg ->
+    Printf.eprintf "bench_check: %s\n" msg;
+    exit 1

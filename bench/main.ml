@@ -1,15 +1,28 @@
 (* The benchmark/reproduction harness.
 
-   Part 1 regenerates every experiment of DESIGN.md §4 (the paper's
-   theorem guarantees — its "tables and figures") at full size.
+   Three scenarios, each wrapped in wall-clock timing (legal here in
+   bench/ — the determinism lint only forbids it under lib/) and each
+   writing a machine-readable BENCH_<name>.json next to the executable:
 
-   Part 2 runs Bechamel micro-benchmarks of the core operations whose
-   asymptotics Theorem 5 talks about: H-graph splices, whole-deletion
-   repairs, the eigensolvers used by the metrics, and the distributed
-   protocols.
+   - experiments: regenerates every experiment table of DESIGN.md §4
+     (the paper's theorem guarantees) at full size.
+   - repair: a seeded deletion attack with the observability scope
+     attached — the engine runs instrumented and every deletion's
+     recorded operations replay as real protocols, so the emitted JSON
+     carries the per-phase message/round breakdown (E7's quantity) plus
+     the full metrics dumps.
+   - micro: Bechamel micro-benchmarks of the core operations whose
+     asymptotics Theorem 5 talks about: H-graph splices, whole-deletion
+     repairs, the eigensolvers used by the metrics, and the distributed
+     protocols.
 
    Run with: dune exec bench/main.exe
-   (pass --quick for the reduced sizes, --skip-micro to omit part 2) *)
+   (--quick for reduced sizes, --skip-micro to omit the micro scenario,
+   --only <experiments|repair|micro> to run a single scenario — the
+   @bench-smoke alias uses `--quick --only repair`.)
+
+   BENCH_<name>.json schema ("xheal-bench/1"): { schema, name, mode,
+   wall_ms, ... } — see EXPERIMENTS.md "Machine-readable bench output". *)
 
 module Gen = Xheal_graph.Generators
 module Graph = Xheal_graph.Graph
@@ -20,21 +33,134 @@ module Election = Xheal_distributed.Election
 module Fault_plan = Xheal_distributed.Fault_plan
 module Schedule = Xheal_distributed.Schedule
 module Dist_repair = Xheal_distributed.Dist_repair
+module Replay = Xheal_distributed.Replay
+module Scope = Xheal_obs.Scope
+module Metrics = Xheal_obs.Metrics
+module Jsonw = Xheal_obs.Jsonw
 
 (* ------------------------------------------------------------------ *)
-(* Part 1: experiment tables.                                         *)
+(* BENCH_<name>.json output.                                          *)
 
-let run_experiments ~quick =
+let mode_name quick = if quick then "quick" else "full"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let write_bench ~name ~quick ~wall_ms extra =
+  let json =
+    Jsonw.Obj
+      ([
+         ("schema", Jsonw.String "xheal-bench/1");
+         ("name", Jsonw.String name);
+         ("mode", Jsonw.String (mode_name quick));
+         ("wall_ms", Jsonw.Float wall_ms);
+       ]
+      @ extra)
+  in
+  let file = "BENCH_" ^ name ^ ".json" in
+  let oc = open_out file in
+  output_string oc (Jsonw.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s (wall %.1f ms)\n%!" file wall_ms
+
+(* [repair.phase.<p>.{messages,rounds,runs}] counters, regrouped as one
+   JSON row per phase. *)
+let phase_rows reg =
+  let cs = Metrics.counters reg in
+  let get name = Option.value ~default:0 (List.assoc_opt name cs) in
+  List.filter_map
+    (fun (name, messages) ->
+      let prefix = "repair.phase." and suffix = ".messages" in
+      if String.starts_with ~prefix name && String.ends_with ~suffix name then begin
+        let p =
+          String.sub name (String.length prefix)
+            (String.length name - String.length prefix - String.length suffix)
+        in
+        Some
+          (Jsonw.Obj
+             [
+               ("phase", Jsonw.String p);
+               ("messages", Jsonw.Int messages);
+               ("rounds", Jsonw.Int (get (prefix ^ p ^ ".rounds")));
+               ("runs", Jsonw.Int (get (prefix ^ p ^ ".runs")));
+             ])
+      end
+      else None)
+    cs
+
+(* ------------------------------------------------------------------ *)
+(* Scenario: experiment tables.                                       *)
+
+let scenario_experiments ~quick =
   print_endline "=====================================================";
   print_endline " Xheal (PODC 2011) — experiment reproduction";
   print_endline "=====================================================";
-  Printf.printf " mode: %s\n\n" (if quick then "quick" else "full");
-  let ok = Xheal_experiments.Registry.run_all ~quick ~out:print_string () in
-  Printf.printf "experiment claims: %s\n\n" (if ok then "ALL PASS" else "SOME FAILED");
+  Printf.printf " mode: %s\n\n" (mode_name quick);
+  let ok, wall_ms =
+    timed (fun () -> Xheal_experiments.Registry.run_all ~quick ~out:print_string ())
+  in
+  Printf.printf "experiment claims: %s\n" (if ok then "ALL PASS" else "SOME FAILED");
+  write_bench ~name:"experiments" ~quick ~wall_ms [ ("ok", Jsonw.Bool ok) ];
+  print_newline ();
   ok
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel micro-benchmarks.                                 *)
+(* Scenario: observed end-to-end repair.                              *)
+
+let scenario_repair ~quick =
+  print_endline "=====================================================";
+  print_endline " Observed repair scenario (engine + protocol replay)";
+  print_endline "=====================================================";
+  (* Two scopes, two clocks: the engine traces on the cost-model round
+     charges, the replay on simulated virtual time — mixing them on one
+     timeline would interleave incomparable timestamps. *)
+  let engine_obs = Scope.create () in
+  let net_obs = Scope.create () in
+  let n = if quick then 48 else 192 in
+  let deletions = if quick then 12 else 60 in
+  let (total, converged), wall_ms =
+    timed (fun () ->
+        let rng = Random.State.make [| 42 |] in
+        let eng = Xheal.create ~obs:engine_obs ~rng (Gen.random_regular ~rng n 4) in
+        let atk = Random.State.make [| 43 |] in
+        let prng = Random.State.make [| 44 |] in
+        let total = ref 0 and converged = ref true in
+        for _ = 1 to deletions do
+          let nodes = Graph.nodes (Xheal.graph eng) in
+          let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+          Xheal.delete eng v;
+          let s =
+            Replay.deletion ~rng:prng ~obs:net_obs ~max_rounds:10_000 ~d:2
+              (Xheal.last_ops eng)
+          in
+          total := !total + s.Dist_repair.messages;
+          converged := !converged && s.Dist_repair.converged
+        done;
+        (!total, !converged))
+  in
+  Printf.printf " n=%d deletions=%d replayed messages=%d converged=%b\n" n deletions
+    total converged;
+  write_bench ~name:"repair" ~quick ~wall_ms
+    [
+      ("n", Jsonw.Int n);
+      ("deletions", Jsonw.Int deletions);
+      ("replayed_messages", Jsonw.Int total);
+      ("converged", Jsonw.Bool converged);
+      ("phases", Jsonw.List (phase_rows net_obs.Scope.metrics));
+      ( "metrics",
+        Jsonw.Obj
+          [
+            ("engine", Scope.metrics_json engine_obs);
+            ("net", Scope.metrics_json net_obs);
+          ] );
+    ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Scenario: Bechamel micro-benchmarks.                               *)
 
 open Bechamel
 open Toolkit
@@ -145,43 +271,79 @@ let micro_tests () =
       bench_routing_tables ();
     ]
 
-let run_micro () =
+let scenario_micro ~quick =
   print_endline "=====================================================";
   print_endline " Micro-benchmarks (Bechamel, monotonic clock)";
   print_endline "=====================================================";
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
-  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
-  let merged = Analyze.merge ols instances results in
-  (* One section per measure (a single instance in practice); rows are
-     sorted by name below, so hash order never reaches the output. *)
-  (* xlint: order-independent *)
-  Hashtbl.iter
-    (fun measure per_test ->
-      Printf.printf "\n  [%s]\n" measure;
-      let rows =
-        List.sort
-          (fun (a, _) (b, _) -> String.compare a b)
-          (Hashtbl.fold
-             (fun name ols_result acc ->
-               let est =
-                 match Analyze.OLS.estimates ols_result with
-                 | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
-                 | _ -> "            n/a"
-               in
-               (name, est) :: acc)
-             per_test [])
-      in
-      List.iter (fun (name, est) -> Printf.printf "  %-32s %s\n" name est) rows)
-    merged;
+  let rows, wall_ms =
+    timed (fun () ->
+        let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+        let instances = Instance.[ monotonic_clock ] in
+        let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+        let raw = Benchmark.all cfg instances (micro_tests ()) in
+        let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+        let merged = Analyze.merge ols instances results in
+        let rows = ref [] in
+        (* One section per measure (a single instance in practice); rows
+           are sorted by name below, so hash order never reaches the
+           output. *)
+        (* xlint: order-independent *)
+        Hashtbl.iter
+          (fun measure per_test ->
+            Printf.printf "\n  [%s]\n" measure;
+            let section =
+              List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                (Hashtbl.fold
+                   (fun name ols_result acc ->
+                     let est =
+                       match Analyze.OLS.estimates ols_result with
+                       | Some (x :: _) -> Some x
+                       | _ -> None
+                     in
+                     (name, est) :: acc)
+                   per_test [])
+            in
+            List.iter
+              (fun (name, est) ->
+                (match est with
+                | Some x -> Printf.printf "  %-32s %12.1f ns/run\n" name x
+                | None -> Printf.printf "  %-32s             n/a\n" name);
+                rows :=
+                  Jsonw.Obj
+                    [
+                      ("name", Jsonw.String name);
+                      ("measure", Jsonw.String measure);
+                      ( "ns_per_run",
+                        match est with Some x -> Jsonw.Float x | None -> Jsonw.Null );
+                    ]
+                  :: !rows)
+              section)
+          merged;
+        List.rev !rows)
+  in
+  write_bench ~name:"micro" ~quick ~wall_ms [ ("rows", Jsonw.List rows) ];
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let skip_micro = List.mem "--skip-micro" args in
-  let ok = run_experiments ~quick in
-  if not skip_micro then run_micro ();
+  let rec find_only = function
+    | "--only" :: v :: _ -> Some v
+    | _ :: rest -> find_only rest
+    | [] -> None
+  in
+  let only = find_only args in
+  (match only with
+  | Some ("experiments" | "repair" | "micro") | None -> ()
+  | Some o ->
+    Printf.eprintf "unknown scenario %S (expected experiments|repair|micro)\n" o;
+    exit 2);
+  let selected name = match only with None -> true | Some o -> String.equal o name in
+  let ok = if selected "experiments" then scenario_experiments ~quick else true in
+  if selected "repair" then scenario_repair ~quick;
+  if selected "micro" && not skip_micro then scenario_micro ~quick;
   if not ok then exit 1

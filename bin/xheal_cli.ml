@@ -13,6 +13,12 @@ module Expansion = Xheal_metrics.Expansion
 module Degree = Xheal_metrics.Degree
 module Stretch = Xheal_metrics.Stretch
 module Registry = Xheal_experiments.Registry
+module Fault_plan = Xheal_distributed.Fault_plan
+module Schedule = Xheal_distributed.Schedule
+module Dist_repair = Xheal_distributed.Dist_repair
+module Replay = Xheal_distributed.Replay
+module Scope = Xheal_obs.Scope
+module Chrome_trace = Xheal_obs.Chrome_trace
 
 open Cmdliner
 
@@ -187,6 +193,82 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Multi-deletion timesteps (the paper's batch extension) against Xheal.")
     Term.(const run $ verbose_flag $ shape $ batch $ timesteps $ seed)
 
+(* ---------- trace command ---------- *)
+
+let trace_cmd =
+  let shape =
+    Arg.(value & opt shape_conv (`Er (48, 0.1)) & info [ "shape" ] ~docv:"SHAPE" ~doc:"Initial network.")
+  in
+  let steps = Arg.(value & opt int 10 & info [ "steps" ] ~docv:"N" ~doc:"Number of deletions to trace.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed; same seed, same bytes.") in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P" ~doc:"Message drop probability (0 = fault-free).")
+  in
+  let fairness =
+    Arg.(value & opt int 0 & info [ "async" ] ~docv:"F" ~doc:"Asynchronous delivery with fairness bound F (0 = synchronous).")
+  in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome-trace output file (load in chrome://tracing or Perfetto).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Also dump the flat metrics registry as JSON.")
+  in
+  let run verbose shape steps seed drop fairness out metrics_out =
+    setup_logs verbose;
+    let rng = Random.State.make [| seed |] in
+    let initial = build_shape ~rng shape in
+    let eng = Xheal_core.Xheal.create ~rng initial in
+    let atk = Random.State.make [| seed + 1 |] in
+    let prng = Random.State.make [| seed + 2 |] in
+    (* The replayed protocols trace on simulated virtual time, one node
+       per track; the engine itself stays unobserved so the trace keeps
+       a single clock. *)
+    let obs = Scope.create () in
+    let plan =
+      if drop > 0.0 then Fault_plan.make ~seed:(seed + 3) ~drop () else Fault_plan.none
+    in
+    let schedule =
+      if fairness > 0 then Schedule.async ~seed:(seed + 4) ~fairness else Schedule.sync
+    in
+    let messages = ref 0 and converged = ref true and deleted = ref 0 in
+    for _ = 1 to steps do
+      let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
+      if List.length nodes > 4 then begin
+        let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+        Xheal_core.Xheal.delete eng v;
+        incr deleted;
+        let s =
+          Replay.deletion ~rng:prng ~obs ~plan ~schedule ~max_rounds:10_000 ~d:2
+            (Xheal_core.Xheal.last_ops eng)
+        in
+        messages := !messages + s.Dist_repair.messages;
+        converged := !converged && s.Dist_repair.converged
+      end
+    done;
+    match Xheal_obs.Tracer.check obs.Scope.tracer with
+    | Error e -> `Error (false, "trace is malformed: " ^ e)
+    | Ok () ->
+      Chrome_trace.write_file out obs.Scope.tracer;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Scope.metrics_string obs);
+          close_out oc)
+        metrics_out;
+      Format.printf "traced %d deletions: %d replayed messages, converged %b@." !deleted
+        !messages !converged;
+      Format.printf "wrote %s%s@." out
+        (match metrics_out with Some p -> " and " ^ p | None -> "");
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a seeded deletion attack and export a Chrome-trace JSON (deterministic: same seed, byte-identical file).")
+    Term.(
+      ret
+        (const run $ verbose_flag $ shape $ steps $ seed $ drop $ fairness $ out
+       $ metrics_out))
+
 (* ---------- list command ---------- *)
 
 let list_cmd =
@@ -204,6 +286,7 @@ let list_cmd =
 
 let main =
   let doc = "Xheal: localized self-healing using expanders (PODC 2011 reproduction)" in
-  Cmd.group (Cmd.info "xheal_cli" ~version:"1.0.0" ~doc) [ experiments_cmd; attack_cmd; batch_cmd; list_cmd ]
+  Cmd.group (Cmd.info "xheal_cli" ~version:"1.0.0" ~doc)
+    [ experiments_cmd; attack_cmd; batch_cmd; trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

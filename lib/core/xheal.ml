@@ -11,6 +11,7 @@ type t = {
   own : Ownership.t;
   reg : Registry.t;
   fwd : (int, int) Hashtbl.t; (* dissolved-by-combine cloud -> successor *)
+  obs : Xheal_obs.Scope.t option;
   mutable totals : Cost.totals;
   mutable last : Cost.report option;
   mutable last_ops : Op.t list;
@@ -45,7 +46,7 @@ let find_cloud t id = Registry.find t.reg id
 
 let clouds_of_node t u = Registry.clouds_of t.reg u
 
-let create ?(cfg = Config.default) ~rng g =
+let create ?(cfg = Config.default) ?obs ~rng g =
   (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Xheal.create: " ^ e));
   {
     cfg;
@@ -53,6 +54,7 @@ let create ?(cfg = Config.default) ~rng g =
     own = Ownership.of_black_graph g;
     reg = Registry.create ();
     fwd = Hashtbl.create 16;
+    obs;
     totals = Cost.zero_totals;
     last = None;
     last_ops = [];
@@ -80,6 +82,65 @@ let touch ctx = ctx.report <- { ctx.report with Cost.clouds_touched = ctx.report
 let mark_combined ctx = ctx.report <- { ctx.report with Cost.combined = true }
 
 let record ctx op = ctx.ops <- op :: ctx.ops
+
+(* ------------------------------------------------------------------ *)
+(* Observability. The engine's clock is the cost model: span
+   timestamps are the closed-form round charges accumulated so far, so
+   a trace lays repairs out on the same timeline [Cost.totals] sums
+   over. The tracer base is pinned to [totals.total_rounds] at the
+   start of every repair, and spans inside one repair use the report's
+   running round count as relative time. *)
+
+(* Strictly increasing inclusive upper bounds; anything larger falls in
+   the implicit overflow bucket. *)
+let msg_buckets = [| 16; 64; 256; 1024; 4096; 16384 |]
+let churn_buckets = [| 4; 16; 64; 256; 1024 |]
+
+let obs_start_repair t =
+  match t.obs with
+  | None -> ()
+  | Some sc ->
+    Xheal_obs.Tracer.set_base sc.Xheal_obs.Scope.tracer t.totals.Cost.total_rounds
+
+let span t ctx name f =
+  match t.obs with
+  | None -> f ()
+  | Some sc ->
+    let tr = sc.Xheal_obs.Scope.tracer in
+    Xheal_obs.Tracer.begin_span tr ~track:Xheal_obs.Tracer.control_track ~name
+      ~now:ctx.report.Cost.rounds;
+    let r = f () in
+    Xheal_obs.Tracer.end_span tr ~track:Xheal_obs.Tracer.control_track
+      ~now:ctx.report.Cost.rounds;
+    r
+
+(* Per-repair distributions and per-phase-label totals, recorded once
+   per deletion at [finish]. *)
+let observe_repair t ctx =
+  match t.obs with
+  | None -> ()
+  | Some sc -> (
+    match ctx.report.Cost.case with
+    | Cost.Insertion -> ()
+    | Cost.Case1 | Cost.Case21 | Cost.Case22 | Cost.Batch _ ->
+      let reg = sc.Xheal_obs.Scope.metrics in
+      let r = ctx.report in
+      Xheal_obs.Metrics.observe
+        (Xheal_obs.Metrics.histogram reg "xheal.repair.messages" ~buckets:msg_buckets)
+        r.Cost.messages;
+      Xheal_obs.Metrics.observe
+        (Xheal_obs.Metrics.histogram reg "xheal.repair.edge_churn" ~buckets:churn_buckets)
+        (r.Cost.edges_added + r.Cost.edges_removed);
+      if r.Cost.combined then
+        Xheal_obs.Metrics.incr (Xheal_obs.Metrics.counter reg "xheal.combines");
+      List.iter
+        (fun (p : Cost.phase) ->
+          let c suffix =
+            Xheal_obs.Metrics.counter reg ("xheal.phase." ^ p.Cost.label ^ "." ^ suffix)
+          in
+          Xheal_obs.Metrics.incr_by (c "messages") p.Cost.messages;
+          Xheal_obs.Metrics.incr_by (c "rounds") p.Cost.rounds)
+        r.Cost.phases)
 
 (* ------------------------------------------------------------------ *)
 (* Cloud/network reconciliation.                                      *)
@@ -162,6 +223,7 @@ let prune_redundant_secondaries t ctx d_id =
 (* Combine a list of primary clouds (and their members) into a single
    fresh primary cloud — the paper's amortized expensive operation. *)
 let combine_primaries t ctx prims =
+  span t ctx "xheal:combine" (fun () ->
   mark_combined ctx;
   Log.info (fun m ->
       m "combining %d clouds (%d members total)" (List.length prims)
@@ -185,7 +247,7 @@ let combine_primaries t ctx prims =
     prims;
   charge ctx "combine" (Cost.combine ~kappa:(kappa t) (List.length member_list));
   prune_redundant_secondaries t ctx (Cloud.id d);
-  d
+  d)
 
 (* Stitch the given units (affected primary clouds plus black-neighbour
    singletons) together with a new secondary cloud, per Algorithm
@@ -301,6 +363,7 @@ let fix_secondary t ctx f ci_id =
 (* The adversary's two moves.                                         *)
 
 let finish t ctx ~black_degree =
+  observe_repair t ctx;
   t.totals <- Cost.accumulate t.totals ctx.report ~black_degree;
   t.last <- Some ctx.report;
   t.last_ops <- List.rev ctx.ops
@@ -339,39 +402,47 @@ let delete t v =
     | Some f -> Registry.primary_of_bridge t.reg ~secondary:(Cloud.id f) ~bridge:v
     | None -> None
   in
-  (* Physical removal of v, its edges, duties and memberships. *)
-  Ownership.remove_node t.own v;
-  Registry.remove_node t.reg v;
-  (* Repair every cloud that lost v. *)
-  List.iter (fun c -> fix_cloud_after_loss t ctx v c) my_clouds;
-  (match case with
-  | Cost.Insertion | Cost.Batch _ -> assert false
-  | Cost.Case1 ->
-    if black_deg >= 2 then begin
-      charge ctx "elect-primary" (Cost.elect black_deg);
-      charge ctx "build-primary" (Cost.distribute ~kappa:(kappa t) black_deg);
-      ignore (make_cloud t ctx Cloud.Primary black_nbrs)
-    end
-  | Cost.Case21 -> make_secondary t ctx prim black_nbrs
-  | Cost.Case22 ->
-    let f = Option.get sec in
-    let anchor = fix_secondary t ctx f f_assoc in
-    (* Stitch the affected primaries not already linked through F,
-       anchored by the bridge's own (possibly combined) primary so the
-       two repaired groups stay connected. *)
-    let f_alive = alive t f in
-    let linked c =
-      f_alive
-      && List.exists (fun (_, p) -> p = Cloud.id c) (Registry.bridges_of_secondary t.reg (Cloud.id f))
-    in
-    let remaining = List.filter (fun c -> alive t c && not (linked c)) prim in
-    let units =
-      match anchor with
-      | Some a when alive t a && not (List.exists (fun c -> Cloud.id c = Cloud.id a) remaining) ->
-        a :: remaining
-      | _ -> remaining
-    in
-    make_secondary t ctx units black_nbrs);
+  obs_start_repair t;
+  span t ctx "xheal:delete" (fun () ->
+      (* Physical removal of v, its edges, duties and memberships. *)
+      Ownership.remove_node t.own v;
+      Registry.remove_node t.reg v;
+      (* Repair every cloud that lost v. *)
+      span t ctx "xheal:phase1" (fun () ->
+          List.iter (fun c -> fix_cloud_after_loss t ctx v c) my_clouds);
+      span t ctx "xheal:phase2" (fun () ->
+          match case with
+          | Cost.Insertion | Cost.Batch _ -> assert false
+          | Cost.Case1 ->
+            if black_deg >= 2 then begin
+              charge ctx "elect-primary" (Cost.elect black_deg);
+              charge ctx "build-primary" (Cost.distribute ~kappa:(kappa t) black_deg);
+              ignore (make_cloud t ctx Cloud.Primary black_nbrs)
+            end
+          | Cost.Case21 -> make_secondary t ctx prim black_nbrs
+          | Cost.Case22 ->
+            let f = Option.get sec in
+            let anchor = fix_secondary t ctx f f_assoc in
+            (* Stitch the affected primaries not already linked through F,
+               anchored by the bridge's own (possibly combined) primary so the
+               two repaired groups stay connected. *)
+            let f_alive = alive t f in
+            let linked c =
+              f_alive
+              && List.exists
+                   (fun (_, p) -> p = Cloud.id c)
+                   (Registry.bridges_of_secondary t.reg (Cloud.id f))
+            in
+            let remaining = List.filter (fun c -> alive t c && not (linked c)) prim in
+            let units =
+              match anchor with
+              | Some a
+                when alive t a
+                     && not (List.exists (fun c -> Cloud.id c = Cloud.id a) remaining) ->
+                a :: remaining
+              | _ -> remaining
+            in
+            make_secondary t ctx units black_nbrs));
   finish t ctx ~black_degree:black_deg
 
 (* ------------------------------------------------------------------ *)
@@ -407,6 +478,9 @@ let delete_many t victims =
   | _ ->
     t.seq <- t.seq + 1;
     let ctx = { report = Cost.empty_report ~seq:t.seq (Cost.Batch (List.length victims)); ops = [] } in
+    obs_start_repair t;
+    let total_black =
+      span t ctx "xheal:delete-many" (fun () ->
     (* Phase 0: capture the pre-removal structure around every victim. *)
     let info =
       List.map
@@ -439,24 +513,26 @@ let delete_many t victims =
     (* Splice in ascending cloud-id order: each splice draws from
        t.rng, so hash order here would change the draw sequence and
        break seeded replay. *)
-    List.iter
-      (fun c ->
+    span t ctx "xheal:phase1" (fun () ->
         List.iter
-          (fun v ->
-            if Cloud.mem c v then begin
-              Cloud.purge_node_from_current c v;
-              ignore (Cloud.remove_member ~rng:t.rng c v)
+          (fun c ->
+            List.iter
+              (fun v ->
+                if Cloud.mem c v then begin
+                  Cloud.purge_node_from_current c v;
+                  ignore (Cloud.remove_member ~rng:t.rng c v)
+                end)
+              victims;
+            touch ctx;
+            if Cloud.size c = 0 then dissolve t ctx c
+            else begin
+              sync t ctx c;
+              charge ctx "fix-cloud" (Cost.splice ~kappa:(kappa t))
             end)
-          victims;
-        touch ctx;
-        if Cloud.size c = 0 then dissolve t ctx c
-        else begin
-          sync t ctx c;
-          charge ctx "fix-cloud" (Cost.splice ~kappa:(kappa t))
-        end)
-      (List.sort
-         (fun a b -> Int.compare (Cloud.id a) (Cloud.id b))
-         (Hashtbl.fold (fun _ c acc -> c :: acc) affected []));
+          (List.sort
+             (fun a b -> Int.compare (Cloud.id a) (Cloud.id b))
+             (Hashtbl.fold (fun _ c acc -> c :: acc) affected [])));
+    span t ctx "xheal:phase2" (fun () ->
     (* Phase 3: re-anchor secondary clouds that lost bridges. *)
     List.iter
       (fun (_, _, _, sec, assoc) ->
@@ -513,7 +589,9 @@ let delete_many t victims =
             ignore (make_cloud t ctx Cloud.Primary orphan_blacks)
           end
         | _ -> make_secondary t ctx cloud_units orphan_blacks)
-      (Unionfind.groups uf);
+      (Unionfind.groups uf));
+    total_black)
+    in
     finish t ctx ~black_degree:total_black;
     (* The batch counts as one report but as many deletions. *)
     t.totals <-

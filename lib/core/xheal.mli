@@ -29,8 +29,21 @@
 
 type t
 
-val create : ?cfg:Config.t -> rng:Random.State.t -> Xheal_graph.Graph.t -> t
-(** Engine over a copy of the initial network; all initial edges black. *)
+val create :
+  ?cfg:Config.t -> ?obs:Xheal_obs.Scope.t -> rng:Random.State.t -> Xheal_graph.Graph.t -> t
+(** Engine over a copy of the initial network; all initial edges black.
+
+    [obs] (default: none) attaches an observability scope. Every
+    deletion then opens a repair-level span ([xheal:delete] /
+    [xheal:delete-many]) with [xheal:phase1] (splice-out), [xheal:phase2]
+    (stitch), and [xheal:combine] spans nested inside it, timestamped on
+    the cost-model clock (the closed-form round charges, based at
+    [totals.total_rounds] so successive repairs lay out sequentially).
+    The scope's registry accumulates per-repair histograms
+    ([xheal.repair.messages], [xheal.repair.edge_churn]), a combine
+    counter ([xheal.combines]), and per-phase-label totals
+    ([xheal.phase.<label>.{messages,rounds}]). Observation never touches
+    [rng], so an observed run is replay-identical to a bare one. *)
 
 val cfg : t -> Config.t
 

@@ -76,11 +76,12 @@ let install net ~graph ~root =
     graph;
   fun () -> !result
 
-let run ~graph ~root =
-  let net = Netsim.create () in
-  let get = install net ~graph ~root in
-  let stats = Netsim.run net in
-  (stats, get ())
+let run ?obs ~graph ~root () =
+  Proto_obs.with_span obs "bfs-echo" (fun () ->
+      let net = Netsim.create ?obs () in
+      let get = install net ~graph ~root in
+      let stats = Netsim.run net in
+      (stats, get ()))
 
 (* Fault-tolerant flood/echo. Every message that matters is retried
    until acknowledged: Explore is resent to each unresolved neighbour
@@ -100,7 +101,7 @@ let run ~graph ~root =
 (* A neighbour with no entry yet is still unresolved. *)
 type nstatus = Child | NonChild
 
-let install_robust ?(retry_every = 3) net ~graph ~root =
+let install_robust ?obs ?(retry_every = 3) net ~graph ~root =
   if not (Graph.has_node graph root) then
     invalid_arg "Bfs_echo.install_robust: root not in graph";
   let result = ref None in
@@ -166,7 +167,10 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
                 (u :: Hashtbl.fold (fun _ addrs acc -> addrs @ acc) subtree [])
             in
             if u = root then begin
-              if !result = None then result := Some (List.sort Int.compare collected)
+              if !result = None then begin
+                result := Some (List.sort Int.compare collected);
+                Proto_obs.instant obs ~track:u ~name:"collected" ~now
+              end
             end
             else if (not !up_acked) && retry_due then
               out := (Option.get !parent, Msg.Subtree collected) :: !out
@@ -178,10 +182,11 @@ let install_robust ?(retry_every = 3) net ~graph ~root =
     graph;
   fun () -> !result
 
-let run_robust ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
+let run_robust ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
     ?max_rounds ~graph ~root () =
-  let net = Netsim.create () in
-  let get = install_robust ?retry_every net ~graph ~root in
-  let grace = (2 * Option.value ~default:3 retry_every) + 2 in
-  let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
-  (stats, get ())
+  Proto_obs.with_span obs "bfs-echo" (fun () ->
+      let net = Netsim.create ?obs () in
+      let get = install_robust ?obs ?retry_every net ~graph ~root in
+      let grace = (2 * Option.value ~default:3 retry_every) + 2 in
+      let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
+      (stats, get ()))

@@ -11,9 +11,17 @@ val install :
     follows graph edges. The returned getter yields the sorted addresses
     collected at the root (the root's component) once the run finishes. *)
 
-val run : graph:Xheal_graph.Graph.t -> root:int -> Netsim.stats * int list option
+val run :
+  ?obs:Xheal_obs.Scope.t ->
+  graph:Xheal_graph.Graph.t ->
+  root:int ->
+  unit ->
+  Netsim.stats * int list option
+(** Fresh simulator + {!install}; with [obs], the run is wrapped in a
+    ["bfs-echo"] span on the control track. *)
 
 val install_robust :
+  ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
   Netsim.t ->
   graph:Xheal_graph.Graph.t ->
@@ -26,9 +34,11 @@ val install_robust :
     message faults the collected component is stretched in time but
     never corrupted. Retries are clocked in elapsed virtual time, so
     the protocol is schedule-agnostic. The getter returns [None] if the
-    echo never completed. *)
+    echo never completed. With [obs], the root drops a ["collected"]
+    instant on its own track when the echo completes. *)
 
 val run_robust :
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->

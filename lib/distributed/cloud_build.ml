@@ -29,13 +29,14 @@ let plan_edges ~rng ~d members =
 
    Retries fire on elapsed virtual time (now >= next_retry), not round
    multiples, so the build is schedule-agnostic. *)
-let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
     ?(retry_every = 3) ?max_rounds ~d ~leader ~members () =
   if not (List.mem leader members) then
     invalid_arg "Cloud_build.run_robust: leader must be a member";
+  Proto_obs.with_span obs "cloud-build" (fun () ->
   let edges = plan_edges ~rng ~d members in
   let incident u = List.filter (fun (a, b) -> a = u || b = u) edges in
-  let net = Netsim.create () in
+  let net = Netsim.create ?obs () in
   List.iter
     (fun u ->
       let my_edges = ref (if u = leader then Some (incident u) else None) in
@@ -84,16 +85,17 @@ let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
     members;
   let grace = (2 * retry_every) + 2 in
   let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
-  (stats, List.sort compare_endpoints edges)
+  (stats, List.sort compare_endpoints edges))
 
 (* The classic build is purely message-driven after the time-0 leader
    wake-up, so it is safe on any schedule — but it has no retries, so
    it assumes lossless delivery. *)
-let run ~rng ~d ~leader ~members =
+let run ~rng ?obs ~d ~leader ~members () =
   if not (List.mem leader members) then invalid_arg "Cloud_build.run: leader must be a member";
+  Proto_obs.with_span obs "cloud-build" (fun () ->
   let edges = plan_edges ~rng ~d members in
   let incident u = List.filter (fun (a, b) -> a = u || b = u) edges in
-  let net = Netsim.create () in
+  let net = Netsim.create ?obs () in
   List.iter
     (fun u ->
       let my_edges = ref (if u = leader then incident u else []) in
@@ -128,4 +130,4 @@ let run ~rng ~d ~leader ~members =
       Netsim.add_node net u handler)
     members;
   let stats = Netsim.run net in
-  (stats, List.sort compare_endpoints edges)
+  (stats, List.sort compare_endpoints edges))

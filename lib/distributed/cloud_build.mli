@@ -6,15 +6,19 @@
 
 val run :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   d:int ->
   leader:int ->
   members:int list ->
+  unit ->
   Netsim.stats * (int * int) list
 (** Returns the simulation stats and the edge list that was installed
-    (sorted canonical pairs). [leader] must be a member. *)
+    (sorted canonical pairs). [leader] must be a member. With [obs] the
+    run is wrapped in a ["cloud-build"] span on the control track. *)
 
 val run_robust :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->

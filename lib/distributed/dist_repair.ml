@@ -34,45 +34,79 @@ let phase_sched schedule k = Schedule.reseed schedule k
    schedule routes through the hardened variants. *)
 let simple plan schedule = Fault_plan.is_none plan && Schedule.is_sync schedule
 
-let build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader ~members acc =
-  let s, _ =
-    if simple plan schedule then Cloud_build.run ~rng ~d ~leader ~members
-    else
-      Cloud_build.run_robust ~rng ~plan:(phase_plan plan 2) ~schedule:(phase_sched schedule 2)
-        ?max_rounds ~d ~leader ~members ()
-  in
+(* A repair-level span covers every phase of one operation. Each phase
+   restarts its simulator clock at 0, so after a phase completes we
+   shift the tracer base forward by that phase's duration; the span is
+   opened and closed at relative time 0 and therefore brackets exactly
+   [first phase start .. last phase end] on the shared timeline. *)
+let repair_span obs name f =
+  match obs with
+  | None -> f ()
+  | Some sc ->
+    let tr = sc.Xheal_obs.Scope.tracer in
+    Xheal_obs.Tracer.begin_span tr ~track:Xheal_obs.Tracer.control_track ~name ~now:0;
+    let r = f () in
+    Xheal_obs.Tracer.end_span tr ~track:Xheal_obs.Tracer.control_track ~now:0;
+    r
+
+(* Fold one finished phase into the per-phase counters and move the
+   timeline past it. *)
+let finish_phase obs phase (s : Netsim.stats) acc =
+  Proto_obs.phase_counters obs phase ~messages:s.Netsim.messages ~rounds:s.Netsim.rounds;
+  Proto_obs.advance_base obs s.Netsim.rounds;
   add acc s
 
-let primary_build ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds
-    ~d ~neighbors () =
+let build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader ~members acc =
+  let s, _ =
+    if simple plan schedule then Cloud_build.run ~rng ?obs ~d ~leader ~members ()
+    else
+      Cloud_build.run_robust ~rng ?obs ~plan:(phase_plan plan 2)
+        ~schedule:(phase_sched schedule 2) ?max_rounds ~d ~leader ~members ()
+  in
+  finish_phase obs "cloud-build" s acc
+
+let primary_build_named ~rng ?obs ~span ?(plan = Fault_plan.none)
+    ?(schedule = Schedule.sync) ?max_rounds ~d ~neighbors () =
   match neighbors with
   | [] -> zero
   | _ ->
-    let elect_stats, leader =
-      if simple plan schedule then Election.run ~rng neighbors
-      else
-        Election.run_robust ~rng ~plan:(phase_plan plan 1) ~schedule:(phase_sched schedule 1)
-          ?max_rounds neighbors
-    in
-    let leader = Option.value ~default:(List.hd neighbors) leader in
-    build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader ~members:neighbors
-      (add zero elect_stats)
+    repair_span obs span (fun () ->
+        let elect_stats, leader =
+          if simple plan schedule then Election.run ~rng ?obs neighbors
+          else
+            Election.run_robust ~rng ?obs ~plan:(phase_plan plan 1)
+              ~schedule:(phase_sched schedule 1) ?max_rounds neighbors
+        in
+        let leader = Option.value ~default:(List.hd neighbors) leader in
+        build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader ~members:neighbors
+          (finish_phase obs "election" elect_stats zero))
 
-let secondary_stitch ~rng ?plan ?schedule ?max_rounds ~d ~bridges () =
-  primary_build ~rng ?plan ?schedule ?max_rounds ~d ~neighbors:bridges ()
+let primary_build ~rng ?obs ?plan ?schedule ?max_rounds ~d ~neighbors () =
+  primary_build_named ~rng ?obs ~span:"repair:primary-build" ?plan ?schedule ?max_rounds
+    ~d ~neighbors ()
 
-let combine ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds ~d
-    ~union ~initiator () =
-  let bfs_stats, collected =
-    if simple plan schedule then Bfs_echo.run ~graph:union ~root:initiator
-    else
-      Bfs_echo.run_robust ~plan:(phase_plan plan 3) ~schedule:(phase_sched schedule 3)
-        ?max_rounds ~graph:union ~root:initiator ()
+let secondary_stitch ~rng ?obs ?plan ?schedule ?max_rounds ~d ~bridges () =
+  primary_build_named ~rng ?obs ~span:"repair:secondary-stitch" ?plan ?schedule
+    ?max_rounds ~d ~neighbors:bridges ()
+
+let combine ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds
+    ~d ~union ~initiator () =
+  repair_span obs "repair:combine" (fun () ->
+      let bfs_stats, collected =
+        if simple plan schedule then Bfs_echo.run ?obs ~graph:union ~root:initiator ()
+        else
+          Bfs_echo.run_robust ?obs ~plan:(phase_plan plan 3)
+            ~schedule:(phase_sched schedule 3) ?max_rounds ~graph:union ~root:initiator ()
+      in
+      let members = Option.value ~default:[ initiator ] collected in
+      build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader:initiator ~members
+        (finish_phase obs "bfs-echo" bfs_stats zero))
+
+let splice ?obs ~d () =
+  let s =
+    { rounds = 1; messages = 4 * d; words = 8 * d; converged = true; dropped = 0;
+      duplicated = 0; delayed = 0 }
   in
-  let members = Option.value ~default:[ initiator ] collected in
-  build_phase ~rng ~plan ~schedule ?max_rounds ~d ~leader:initiator ~members
-    (add zero bfs_stats)
-
-let splice ~d =
-  { rounds = 1; messages = 4 * d; words = 8 * d; converged = true; dropped = 0;
-    duplicated = 0; delayed = 0 }
+  Proto_obs.phase_counters obs "splice" ~messages:s.messages ~rounds:s.rounds;
+  Proto_obs.advance_base obs s.rounds;
+  s

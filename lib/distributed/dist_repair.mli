@@ -13,7 +13,17 @@
     and delay streams), and [converged] reports whether every phase
     actually quiesced. Under an asynchronous schedule [rounds] is the
     summed virtual time-to-quiescence of the phases — the quantity E13
-    sweeps against the fairness parameter. *)
+    sweeps against the fairness parameter.
+
+    Each operation also takes an optional observability scope ([obs]).
+    When present, the operation is wrapped in a repair-level span
+    ([repair:primary-build] / [repair:secondary-stitch] /
+    [repair:combine]) on the control track, each phase opens its own
+    protocol span nested inside it, the tracer's virtual-time base is
+    advanced past every phase so a multi-phase repair lays out
+    sequentially on one timeline, and per-phase counters
+    [repair.phase.<phase>.{messages,rounds,runs}] accumulate the
+    breakdown E7 reports. *)
 
 type stats = {
   rounds : int;
@@ -29,6 +39,7 @@ val add : stats -> Netsim.stats -> stats
 
 val primary_build :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?max_rounds:int ->
@@ -41,6 +52,7 @@ val primary_build :
 
 val secondary_stitch :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?max_rounds:int ->
@@ -52,6 +64,7 @@ val secondary_stitch :
 
 val combine :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?max_rounds:int ->
@@ -64,7 +77,8 @@ val combine :
     merged gathers every address at the initiator, which then builds and
     distributes one big cloud. *)
 
-val splice : d:int -> stats
+val splice : ?obs:Xheal_obs.Scope.t -> d:int -> unit -> stats
 (** Modeled constant cost of one H-graph INSERT/DELETE splice (2κ
     messages, 1 round) — too local to be worth simulating, so faults do
-    not apply to it. *)
+    not apply to it. With [obs] it still contributes to the
+    [repair.phase.splice.*] counters and advances the timeline. *)

@@ -44,11 +44,12 @@ let install ~rng net participants =
     parts;
   fun () -> !elected
 
-let run ~rng participants =
-  let net = Netsim.create () in
-  let get = install ~rng net participants in
-  let stats = Netsim.run net in
-  (stats, get ())
+let run ~rng ?obs participants =
+  Proto_obs.with_span obs "election" (fun () ->
+      let net = Netsim.create ?obs () in
+      let get = install ~rng net participants in
+      let stats = Netsim.run net in
+      (stats, get ()))
 
 (* Fault-tolerant variant. The bracket tournament above assumes every
    duel message lands on schedule; one loss silently corrupts the
@@ -69,7 +70,7 @@ let run ~rng participants =
    deadline can pass before any challenge arrives; it then elects from
    what it has heard (possibly itself) — still a valid participant,
    which is the guarantee the repair pipeline needs. *)
-let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) net
+let install_robust ~rng ?obs ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) net
     participants =
   let parts = Array.of_list (List.sort_uniq Int.compare participants) in
   let m = Array.length parts in
@@ -114,7 +115,8 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
             decided := true;
             just_decided := true;
             learned := Some leader;
-            elected := Some leader
+            elected := Some leader;
+            Proto_obs.instant obs ~track:id ~name:"elected" ~now
           end
         end;
         (match (!decided, !learned) with
@@ -141,10 +143,13 @@ let install_robust ~rng ?(retry_every = 3) ?(epoch_rounds = 16) ?(give_up = 12) 
     parts;
   fun () -> !elected
 
-let run_robust ~rng ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
+let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
     ?epoch_rounds ?give_up ?max_rounds participants =
-  let net = Netsim.create () in
-  let get = install_robust ~rng ?retry_every ?epoch_rounds ?give_up net participants in
-  let grace = (2 * Option.value ~default:3 retry_every) + 2 in
-  let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
-  (stats, get ())
+  Proto_obs.with_span obs "election" (fun () ->
+      let net = Netsim.create ?obs () in
+      let get =
+        install_robust ~rng ?obs ?retry_every ?epoch_rounds ?give_up net participants
+      in
+      let grace = (2 * Option.value ~default:3 retry_every) + 2 in
+      let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
+      (stats, get ()))

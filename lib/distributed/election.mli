@@ -17,11 +17,16 @@ val install :
     duels on round-number equality, so it requires the synchronous
     schedule; use {!install_robust} on asynchronous schedules. *)
 
-val run : rng:Random.State.t -> int list -> Netsim.stats * int option
-(** Convenience: fresh simulator, install, run, return stats and leader. *)
+val run :
+  rng:Random.State.t -> ?obs:Xheal_obs.Scope.t -> int list -> Netsim.stats * int option
+(** Convenience: fresh simulator, install, run, return stats and leader.
+    [obs] attaches an observability scope: the run is wrapped in an
+    ["election"] span on the control track and the simulator records
+    its per-message events into the same scope. *)
 
 val install_robust :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
   ?epoch_rounds:int ->
   ?give_up:int ->
@@ -41,10 +46,13 @@ val install_robust :
     private-rank participant, at the cost of extra ack traffic — use
     {!install} when the network is known-perfect; under heavy
     asynchrony the deadline path may elect from a partial view, which
-    still yields a valid participant. *)
+    still yields a valid participant. With [obs], the deciding
+    coordinator drops an ["elected"] instant on its own track at the
+    decision time. *)
 
 val run_robust :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->

@@ -17,6 +17,17 @@ let size_words = function
   | Subtree addrs -> max 1 (List.length addrs)
   | Edges es -> max 1 (2 * List.length es)
 
+let kind = function
+  | Challenge _ -> "challenge"
+  | Victory _ -> "victory"
+  | Explore _ -> "explore"
+  | Accept -> "accept"
+  | Reject -> "reject"
+  | Subtree _ -> "subtree"
+  | Edges _ -> "edges"
+  | Hello -> "hello"
+  | Ack -> "ack"
+
 let pp ppf = function
   | Challenge { rank; candidate } -> Format.fprintf ppf "challenge(rank=%d, from=%d)" rank candidate
   | Victory { leader; members } -> Format.fprintf ppf "victory(%d, |m|=%d)" leader (List.length members)

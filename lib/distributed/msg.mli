@@ -23,6 +23,11 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 
+val kind : t -> string
+(** Constructor name in lowercase ("challenge", "victory", ...): the
+    per-message-type key used by the observability counters
+    ([netsim.delivered.<kind>], ...) and {!Netsim.stats.per_type}. *)
+
 val size_words : t -> int
 (** Payload size in O(log n)-bit words — the CONGEST-model cost of the
     message. The LOCAL model the paper analyzes ignores this; we track it

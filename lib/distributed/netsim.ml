@@ -1,3 +1,7 @@
+module Obs = Xheal_obs
+module Metrics = Xheal_obs.Metrics
+module Tracer = Xheal_obs.Tracer
+
 type handler = now:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
 
 type envelope = { src : int; dst : int; msg : Msg.t }
@@ -12,7 +16,15 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable delayed : int;
+  (* Observability. [reg] always exists (the per-message-type counters
+     of [stats.per_type] are read back from it, so stats and metrics
+     cannot drift); [obs] is the externally supplied scope, present only
+     when the caller wants trace events too. *)
+  reg : Metrics.t;
+  obs : Obs.Scope.t option;
 }
+
+type type_counts = { delivered : int; dropped : int; duplicated : int }
 
 type stats = {
   rounds : int;
@@ -22,11 +34,93 @@ type stats = {
   dropped : int;
   duplicated : int;
   delayed : int;
+  per_type : (string * type_counts) list;
 }
 
-let create () =
+let create ?obs () =
+  let reg =
+    match obs with Some sc -> sc.Obs.Scope.metrics | None -> Metrics.create ()
+  in
   { nodes = Hashtbl.create 32; initial = []; sent = 0; words = 0; dropped = 0;
-    duplicated = 0; delayed = 0 }
+    duplicated = 0; delayed = 0; reg; obs }
+
+(* ------------------------------------------------------------------ *)
+(* Per-message-type accounting. Counters live in the registry; the    *)
+(* [per_type] block of the returned stats is the delta of those       *)
+(* counters over the run, so a shared registry (several nets, several *)
+(* runs) never bleeds counts across runs.                             *)
+
+let count t action msg =
+  Metrics.incr (Metrics.counter t.reg ("netsim." ^ action ^ "." ^ Msg.kind msg))
+
+let trace_instant t ~prefix ~now ~dst msg =
+  match t.obs with
+  | Some sc ->
+    Tracer.instant sc.Obs.Scope.tracer ~track:dst ~name:(prefix ^ Msg.kind msg) ~now
+  | None -> ()
+
+let note_dropped ?(now = -1) (t : t) ~dst msg =
+  t.dropped <- t.dropped + 1;
+  count t "dropped" msg;
+  if now >= 0 then trace_instant t ~prefix:"drop:" ~now ~dst msg
+
+let note_delivered (t : t) ~now ~dst msg =
+  count t "delivered" msg;
+  trace_instant t ~prefix:"recv:" ~now ~dst msg
+
+let note_duplicated (t : t) ~now ~dst msg =
+  t.duplicated <- t.duplicated + 1;
+  count t "duplicated" msg;
+  if now >= 0 then trace_instant t ~prefix:"dup:" ~now ~dst msg
+
+let note_delayed (t : t) ~now ~dst msg =
+  t.delayed <- t.delayed + 1;
+  count t "delayed" msg;
+  if now >= 0 then trace_instant t ~prefix:"delay:" ~now ~dst msg
+
+let sample_inflight t ~now depth =
+  Metrics.gauge_max (Metrics.gauge t.reg "netsim.inflight.max") depth;
+  match t.obs with
+  | Some sc ->
+    Tracer.sample sc.Obs.Scope.tracer ~track:Tracer.control_track ~name:"inflight" ~now
+      ~value:depth
+  | None -> ()
+
+let netsim_counter_snapshot t =
+  List.filter
+    (fun (name, _) -> String.length name >= 7 && String.sub name 0 7 = "netsim.")
+    (Metrics.counters t.reg)
+
+let split_counter name =
+  match String.split_on_char '.' name with
+  | [ "netsim"; action; kind ] -> Some (action, kind)
+  | _ -> None
+
+let zero_counts = { delivered = 0; dropped = 0; duplicated = 0 }
+
+let per_type_since t before =
+  let tally : (string, type_counts) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      match split_counter name with
+      | Some (action, kind) ->
+        let d = v - Option.value ~default:0 (List.assoc_opt name before) in
+        if d > 0 then begin
+          let cur = Option.value ~default:zero_counts (Hashtbl.find_opt tally kind) in
+          let cur =
+            match action with
+            | "delivered" -> { cur with delivered = cur.delivered + d }
+            | "dropped" -> { cur with dropped = cur.dropped + d }
+            | "duplicated" -> { cur with duplicated = cur.duplicated + d }
+            | _ -> cur
+          in
+          Hashtbl.replace tally kind cur
+        end
+      | None -> ())
+    (netsim_counter_snapshot t);
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun kind counts acc -> (kind, counts) :: acc) tally [])
 
 let add_node t id handler =
   if Hashtbl.mem t.nodes id then invalid_arg "Netsim.add_node: duplicate id";
@@ -60,6 +154,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     ?(schedule = Schedule.sync) ?trace (t : t) =
   let pure = Fault_plan.is_none plan in
   let sync = Schedule.is_sync schedule in
+  let before = netsim_counter_snapshot t in
   let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
   let q : envelope Event_queue.t = Event_queue.create () in
   let seq = ref 0 in
@@ -89,16 +184,16 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      delay — same checks, same RNG draw order as the reference loop.
      Returns the extra fault delay of each copy actually entering the
      network (one zero-extra copy when the plan is pure). *)
-  let gauntlet ~src ~dst =
+  let gauntlet ~src ~dst ~msg =
     if pure then Some [ 0 ]
     else if Fault_plan.severed plan ~round:!now ~src ~dst then begin
-      t.dropped <- t.dropped + 1;
+      note_dropped ~now:!now t ~dst msg;
       active := true;
       None
     end
     else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
     then begin
-      t.dropped <- t.dropped + 1;
+      note_dropped ~now:!now t ~dst msg;
       active := true;
       None
     end
@@ -108,7 +203,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
           plan.Fault_plan.duplicate > 0.
           && Random.State.float frng 1.0 < plan.Fault_plan.duplicate
         then begin
-          t.duplicated <- t.duplicated + 1;
+          note_duplicated t ~now:!now ~dst msg;
           2
         end
         else 1
@@ -117,7 +212,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
         (List.init copies (fun _ ->
              if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
              then begin
-               t.delayed <- t.delayed + 1;
+               note_delayed t ~now:!now ~dst msg;
                1 + Random.State.int frng plan.Fault_plan.max_delay
              end
              else 0))
@@ -127,7 +222,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      run them through the gauntlet as time −1 sends delivered at 0+. *)
   List.iter
     (fun e ->
-      match gauntlet ~src:e.src ~dst:e.dst with
+      match gauntlet ~src:e.src ~dst:e.dst ~msg:e.msg with
       | None -> ()
       | Some extras ->
         List.iter
@@ -140,13 +235,14 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
   let running = ref (max_rounds > 0) in
   while !running do
     active := false;
+    sample_inflight t ~now:!now (Event_queue.length q);
     let due = Event_queue.pop_due q ~now:!now in
     let inboxes = Hashtbl.create 16 in
     List.iter
       (fun e ->
         match Fault_plan.crash_round plan e.dst with
         | Some c when c <= !now ->
-          t.dropped <- t.dropped + 1;
+          note_dropped ~now:!now t ~dst:e.dst e.msg;
           (* A delivery eaten by a crash is activity exactly like a
              gauntlet drop: the sender may be waiting on an ack that
              will never come and needs its retry window kept open. *)
@@ -155,6 +251,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
           (match trace with
           | Some f -> f ~now:!now ~src:e.src ~dst:e.dst e.msg
           | None -> ());
+          note_delivered t ~now:!now ~dst:e.dst e.msg;
           let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.dst) in
           Hashtbl.replace inboxes e.dst ((e.src, e.msg) :: prev))
       due;
@@ -173,7 +270,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
               if Hashtbl.mem t.nodes dst then begin
                 t.sent <- t.sent + 1;
                 t.words <- t.words + Msg.size_words msg;
-                match gauntlet ~src:id ~dst with
+                match gauntlet ~src:id ~dst ~msg with
                 | None -> ()
                 | Some extras ->
                   List.iter
@@ -185,7 +282,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
               else
                 (* Addressed to an unregistered (deleted) node: traceable,
                    not silent. Not counted as a protocol send. *)
-                t.dropped <- t.dropped + 1)
+                note_dropped ~now:!now t ~dst msg)
             out
         end)
       ids;
@@ -219,6 +316,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     dropped = t.dropped;
     duplicated = t.duplicated;
     delayed = t.delayed;
+    per_type = per_type_since t before;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -232,6 +330,7 @@ type ref_envelope = { rsrc : int; rdst : int; rmsg : Msg.t; deliver_at : int }
 let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) ?trace
     (t : t) =
   let pure = Fault_plan.is_none plan in
+  let before = netsim_counter_snapshot t in
   let frng = Random.State.make [| plan.Fault_plan.seed; 0xfa17 |] in
   let inflight =
     ref
@@ -244,13 +343,13 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
   let active = ref false in
   let faulted ~src ~dst msg =
     if Fault_plan.severed plan ~round:!round ~src ~dst then begin
-      t.dropped <- t.dropped + 1;
+      note_dropped ~now:!round t ~dst msg;
       active := true;
       []
     end
     else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
     then begin
-      t.dropped <- t.dropped + 1;
+      note_dropped ~now:!round t ~dst msg;
       active := true;
       []
     end
@@ -260,7 +359,7 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
           plan.Fault_plan.duplicate > 0.
           && Random.State.float frng 1.0 < plan.Fault_plan.duplicate
         then begin
-          t.duplicated <- t.duplicated + 1;
+          note_duplicated t ~now:!round ~dst msg;
           2
         end
         else 1
@@ -269,7 +368,7 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
           let extra =
             if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
             then begin
-              t.delayed <- t.delayed + 1;
+              note_delayed t ~now:!round ~dst msg;
               1 + Random.State.int frng plan.Fault_plan.max_delay
             end
             else 0
@@ -287,18 +386,20 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
         !inflight;
   while (not !quiesced) && !round < max_rounds do
     active := false;
+    sample_inflight t ~now:!round (List.length !inflight);
     let due, later = List.partition (fun e -> e.deliver_at <= !round) !inflight in
     let inboxes = Hashtbl.create 16 in
     List.iter
       (fun e ->
         match Fault_plan.crash_round plan e.rdst with
         | Some c when c <= !round ->
-          t.dropped <- t.dropped + 1;
+          note_dropped ~now:!round t ~dst:e.rdst e.rmsg;
           active := true
         | _ ->
           (match trace with
           | Some f -> f ~now:!round ~src:e.rsrc ~dst:e.rdst e.rmsg
           | None -> ());
+          note_delivered t ~now:!round ~dst:e.rdst e.rmsg;
           let prev = Option.value ~default:[] (Hashtbl.find_opt inboxes e.rdst) in
           Hashtbl.replace inboxes e.rdst ((e.rsrc, e.rmsg) :: prev))
       due;
@@ -325,7 +426,7 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
                 else
                   List.iter (fun e -> outgoing := e :: !outgoing) (faulted ~src:id ~dst msg)
               end
-              else t.dropped <- t.dropped + 1)
+              else note_dropped ~now:!round t ~dst msg)
             out
         end)
       ids;
@@ -344,4 +445,5 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
     dropped = t.dropped;
     duplicated = t.duplicated;
     delayed = t.delayed;
+    per_type = per_type_since t before;
   }

@@ -39,7 +39,15 @@ type handler = now:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
     elapsed-time comparisons ([now >= deadline]) instead, as the
     [_robust] protocol variants do. *)
 
-val create : unit -> t
+val create : ?obs:Xheal_obs.Scope.t -> unit -> t
+(** [obs] (default: none) attaches an observability scope. The
+    simulator then records per-delivery/drop/delay instants and
+    queue-depth samples into the scope's tracer (on per-node tracks, in
+    virtual time — traces from seeded runs replay byte-identically) in
+    addition to the per-message-type counters, which always exist: with
+    no scope they live in a private registry. [stats.per_type] is read
+    back from that same registry, so the stats block and a metrics dump
+    can never disagree. *)
 
 val add_node : t -> int -> handler -> unit
 (** @raise Invalid_argument on duplicate ids. *)
@@ -47,6 +55,9 @@ val add_node : t -> int -> handler -> unit
 val send_initial : t -> src:int -> dst:int -> Msg.t -> unit
 (** Seeds a message delivered at time 0 (counted). Initial messages run
     the same fault gauntlet and schedule as in-run sends. *)
+
+type type_counts = { delivered : int; dropped : int; duplicated : int }
+(** Per-message-type slice of a run's traffic. *)
 
 type stats = {
   rounds : int;
@@ -64,6 +75,14 @@ type stats = {
           addressed to unregistered or crashed nodes. *)
   duplicated : int;  (** Extra copies injected by the duplication fault. *)
   delayed : int;  (** Deliveries pushed at least one time unit late by faults. *)
+  per_type : (string * type_counts) list;
+      (** Traffic broken down by {!Msg.kind}, sorted by kind name;
+          kinds with no traffic are omitted. Sourced from the obs
+          registry counters ([netsim.delivered.<kind>], ...) as a delta
+          over the run, so these totals and an exported metrics dump
+          agree by construction. Both engines ({!run} and
+          {!run_reference}) produce identical breakdowns on identical
+          workloads — the conformance property covers this field too. *)
 }
 
 val run :

@@ -1,0 +1,35 @@
+module Scope = Xheal_obs.Scope
+module Tracer = Xheal_obs.Tracer
+module Metrics = Xheal_obs.Metrics
+
+let with_span obs name run =
+  match obs with
+  | None -> run ()
+  | Some sc ->
+    let tr = sc.Scope.tracer in
+    Tracer.begin_span tr ~track:Tracer.control_track ~name ~now:0;
+    let ((stats : Netsim.stats), _) as result = run () in
+    Tracer.end_span tr ~track:Tracer.control_track ~now:stats.Netsim.rounds;
+    result
+
+let instant obs ~track ~name ~now =
+  match obs with
+  | None -> ()
+  | Some sc -> Tracer.instant sc.Scope.tracer ~track ~name ~now
+
+let phase_counters obs phase ~messages ~rounds =
+  match obs with
+  | None -> ()
+  | Some sc ->
+    let reg = sc.Scope.metrics in
+    let c suffix = Metrics.counter reg ("repair.phase." ^ phase ^ "." ^ suffix) in
+    Metrics.incr_by (c "messages") messages;
+    Metrics.incr_by (c "rounds") rounds;
+    Metrics.incr (c "runs")
+
+let advance_base obs rounds =
+  match obs with
+  | None -> ()
+  | Some sc ->
+    let tr = sc.Scope.tracer in
+    Tracer.set_base tr (Tracer.base tr + rounds)

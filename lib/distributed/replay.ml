@@ -36,18 +36,21 @@ let combine_union clouds =
   | _ -> ());
   g
 
-let op ~rng ?plan ?schedule ?max_rounds ~d = function
+let op ~rng ?obs ?plan ?schedule ?max_rounds ~d = function
   | Op.Primary_build { members } ->
-    Dist_repair.primary_build ~rng ?plan ?schedule ?max_rounds ~d ~neighbors:members ()
+    Dist_repair.primary_build ~rng ?obs ?plan ?schedule ?max_rounds ~d ~neighbors:members
+      ()
   | Op.Secondary_build { bridges } ->
-    Dist_repair.secondary_stitch ~rng ?plan ?schedule ?max_rounds ~d ~bridges ()
-  | Op.Splice _ -> Dist_repair.splice ~d
+    Dist_repair.secondary_stitch ~rng ?obs ?plan ?schedule ?max_rounds ~d ~bridges ()
+  | Op.Splice _ -> Dist_repair.splice ?obs ~d ()
   | Op.Combine { clouds } -> (
     let union = combine_union clouds in
     match Graph.nodes union with
     | [] -> zero
     | initiator :: _ ->
-      Dist_repair.combine ~rng ?plan ?schedule ?max_rounds ~d ~union ~initiator ())
+      Dist_repair.combine ~rng ?obs ?plan ?schedule ?max_rounds ~d ~union ~initiator ())
 
-let deletion ~rng ?plan ?schedule ?max_rounds ~d ops =
-  List.fold_left (fun acc o -> plus acc (op ~rng ?plan ?schedule ?max_rounds ~d o)) zero ops
+let deletion ~rng ?obs ?plan ?schedule ?max_rounds ~d ops =
+  List.fold_left
+    (fun acc o -> plus acc (op ~rng ?obs ?plan ?schedule ?max_rounds ~d o))
+    zero ops

@@ -8,6 +8,7 @@
 
 val op :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?max_rounds:int ->
@@ -28,10 +29,14 @@ val op :
     (default {!Schedule.sync}) picks the delivery model; with a faulty
     plan or an asynchronous schedule the hardened protocol variants run
     and the returned [converged] flag reports whether they all
-    quiesced. *)
+    quiesced. [obs] (default: none) threads an observability scope
+    through to {!Dist_repair}: repair-level spans, nested protocol
+    spans, per-message trace events, and [repair.phase.*] counters all
+    land in that scope, laid out sequentially in virtual time. *)
 
 val deletion :
   rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?max_rounds:int ->

@@ -23,7 +23,7 @@ let repair_trial ~n ~d ~p ~t =
   Dist.primary_build ~rng ~plan ~max_rounds ~d ~neighbors ()
 
 let bfs_trial ~graph ~p ~t =
-  if p = 0.0 then Bfs.run ~graph ~root:0
+  if p = 0.0 then Bfs.run ~graph ~root:0 ()
   else
     let plan = Fault_plan.make ~seed:((t * 137) + int_of_float (p *. 1000.)) ~drop:p () in
     Bfs.run_robust ~plan ~max_rounds ~graph ~root:0 ()

@@ -1,0 +1,62 @@
+type event = { name : string; track : int; ts : int; data : kind }
+
+and kind = Span of { dur : int } | Instant | Sample of { value : int }
+
+type open_span = { span_name : string; begin_ts : int }
+
+type t = {
+  mutable events : event list; (* reversed *)
+  mutable offset : int;
+  mutable open_count : int;
+  stacks : (int, open_span list) Hashtbl.t;
+  mutable names : (int * string) list;
+}
+
+let control_track = -1
+
+let create () =
+  { events = []; offset = 0; open_count = 0; stacks = Hashtbl.create 8; names = [] }
+
+let set_base t base = t.offset <- base
+
+let base t = t.offset
+
+let name_track t ~track name =
+  t.names <- (track, name) :: List.remove_assoc track t.names
+
+let track_names t = List.sort (fun (a, _) (b, _) -> Int.compare a b) t.names
+
+let push t e = t.events <- e :: t.events
+
+let begin_span t ~track ~name ~now =
+  let stack = Option.value ~default:[] (Hashtbl.find_opt t.stacks track) in
+  Hashtbl.replace t.stacks track ({ span_name = name; begin_ts = t.offset + now } :: stack);
+  t.open_count <- t.open_count + 1
+
+let end_span t ~track ~now =
+  match Hashtbl.find_opt t.stacks track with
+  | None | Some [] ->
+    invalid_arg (Printf.sprintf "Tracer.end_span: no open span on track %d" track)
+  | Some (top :: rest) ->
+    let ts_end = t.offset + now in
+    if ts_end < top.begin_ts then
+      invalid_arg
+        (Printf.sprintf "Tracer.end_span: span %s ends at %d before its start %d"
+           top.span_name ts_end top.begin_ts);
+    Hashtbl.replace t.stacks track rest;
+    t.open_count <- t.open_count - 1;
+    push t
+      { name = top.span_name; track; ts = top.begin_ts; data = Span { dur = ts_end - top.begin_ts } }
+
+let instant t ~track ~name ~now = push t { name; track; ts = t.offset + now; data = Instant }
+
+let sample t ~track ~name ~now ~value =
+  push t { name; track; ts = t.offset + now; data = Sample { value } }
+
+let open_spans t = t.open_count
+
+let check t =
+  if t.open_count = 0 then Ok ()
+  else Error (Printf.sprintf "Tracer: %d span(s) still open at export" t.open_count)
+
+let events t = List.rev t.events

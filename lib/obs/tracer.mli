@@ -1,0 +1,69 @@
+(** Span/event tracer keyed on {e virtual time only}.
+
+    Callers pass the simulator's [~now]; the tracer never reads a clock
+    (xlint D3 bans wall-clock in [lib/]), so a trace is a pure function
+    of the seeded run that produced it — same seed ⇒ byte-identical
+    export.
+
+    Tracks model Chrome-trace threads: one per simulated node (use the
+    node id) plus {!control_track} for engine/phase-level spans. Spans
+    on one track must nest properly; {!begin_span}/{!end_span} maintain
+    a per-track stack and closing a span on an empty track is an error
+    (the orphan the test suite pins down).
+
+    Composite runs (a repair pipeline running several protocol phases,
+    each on a fresh simulator clock starting at 0) lay their phases out
+    on one timeline with {!set_base}: every recorded timestamp is
+    [base + now] at call time. *)
+
+type t
+
+(** A completed recording, in completion order. *)
+type event = {
+  name : string;
+  track : int;
+  ts : int;  (** Absolute virtual time ([base + now] at recording). *)
+  data : kind;
+}
+
+and kind =
+  | Span of { dur : int }
+  | Instant
+  | Sample of { value : int }  (** Counter track sample (queue depth). *)
+
+val control_track : int
+(** Track [-1], conventionally used for engine/phase-level spans. *)
+
+val create : unit -> t
+
+val set_base : t -> int -> unit
+(** Set the virtual-time offset added to every subsequent [~now]. *)
+
+val base : t -> int
+
+val name_track : t -> track:int -> string -> unit
+(** Label a track for the exporter (thread name metadata). *)
+
+val track_names : t -> (int * string) list
+(** Sorted by track id. *)
+
+val begin_span : t -> track:int -> name:string -> now:int -> unit
+
+val end_span : t -> track:int -> now:int -> unit
+(** Closes the innermost open span on [track].
+    @raise Invalid_argument when the track has no open span (orphan
+    end), or when the end time precedes the span's begin time. *)
+
+val instant : t -> track:int -> name:string -> now:int -> unit
+
+val sample : t -> track:int -> name:string -> now:int -> value:int -> unit
+
+val open_spans : t -> int
+(** Spans begun but not yet ended, across all tracks. *)
+
+val check : t -> (unit, string) result
+(** [Error] when any span is still open — an export at this point would
+    silently lose it. *)
+
+val events : t -> event list
+(** Completed events in recording order (spans appear at completion). *)

@@ -84,19 +84,19 @@ let test_election_rounds_scale () =
 
 let test_bfs_collects_component () =
   let g = Graph.of_edges ~nodes:[ 99 ] [ (0, 1); (1, 2); (2, 3) ] in
-  let _, collected = Bfs_echo.run ~graph:g ~root:1 in
+  let _, collected = Bfs_echo.run ~graph:g ~root:1 () in
   Alcotest.(check (option (list int))) "component only" (Some [ 0; 1; 2; 3 ]) collected
 
 let test_bfs_isolated_root () =
   let g = Graph.of_edges ~nodes:[ 5 ] [ (0, 1) ] in
-  let _, collected = Bfs_echo.run ~graph:g ~root:5 in
+  let _, collected = Bfs_echo.run ~graph:g ~root:5 () in
   Alcotest.(check (option (list int))) "just the root" (Some [ 5 ]) collected
 
 let test_bfs_rounds_track_diameter () =
   let path = Gen.path 20 in
-  let s_path, _ = Bfs_echo.run ~graph:path ~root:0 in
+  let s_path, _ = Bfs_echo.run ~graph:path ~root:0 () in
   let clique = Gen.complete 20 in
-  let s_clique, _ = Bfs_echo.run ~graph:clique ~root:0 in
+  let s_clique, _ = Bfs_echo.run ~graph:clique ~root:0 () in
   Alcotest.(check bool) "path slower than clique" true
     (s_path.Netsim.rounds > s_clique.Netsim.rounds);
   Alcotest.(check bool) "path ~ 2*diam" true (s_path.Netsim.rounds <= 2 * 19 + 4)
@@ -104,20 +104,20 @@ let test_bfs_rounds_track_diameter () =
 (* ---------- Cloud build ---------- *)
 
 let test_cloud_build_small_clique () =
-  let stats, edges = Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:0 ~members:[ 0; 1; 2 ] in
+  let stats, edges = Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:0 ~members:[ 0; 1; 2 ] () in
   Alcotest.(check (list (pair int int))) "triangle" [ (0, 1); (0, 2); (1, 2) ] edges;
   Alcotest.(check bool) "some messages" true (stats.Netsim.messages > 0);
   Alcotest.(check bool) "constant rounds" true (stats.Netsim.rounds <= 4)
 
 let test_cloud_build_expander () =
   let members = List.init 20 Fun.id in
-  let _, edges = Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:0 ~members in
+  let _, edges = Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:0 ~members () in
   let g = Graph.of_edges edges in
   Alcotest.(check bool) "connected" true (Xheal_graph.Traversal.is_connected g);
   Alcotest.(check bool) "kappa-regular-ish" true (Graph.max_degree g <= 4);
   Alcotest.check_raises "leader must be member"
     (Invalid_argument "Cloud_build.run: leader must be a member") (fun () ->
-      ignore (Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:99 ~members))
+      ignore (Cloud_build.run ~rng:(rng ()) ~d:2 ~leader:99 ~members ()))
 
 (* ---------- Composite repairs vs Cost formulas ---------- *)
 
@@ -147,7 +147,7 @@ let test_combine_messages_scale () =
   Alcotest.(check bool) "roughly linear growth" true (m128 < 8 * m32 && m128 > 2 * m32)
 
 let test_splice_constant () =
-  let s = Dist_repair.splice ~d:3 in
+  let s = Dist_repair.splice ~d:3 () in
   Alcotest.(check int) "rounds" 1 s.Dist_repair.rounds;
   Alcotest.(check int) "2*kappa messages" 12 s.Dist_repair.messages
 

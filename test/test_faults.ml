@@ -213,7 +213,7 @@ let bfs_graph () = Gen.random_h_graph ~rng:(rng 17) 24 2
 
 let test_robust_bfs_no_faults_matches_classic () =
   let g = bfs_graph () in
-  let _, classic = Bfs_echo.run ~graph:g ~root:0 in
+  let _, classic = Bfs_echo.run ~graph:g ~root:0 () in
   let s, robust = Bfs_echo.run_robust ~graph:g ~root:0 () in
   Alcotest.(check bool) "converged" true s.Netsim.converged;
   Alcotest.(check (option (list int))) "same component" classic robust

@@ -1,0 +1,271 @@
+(* The observability layer (lib/obs): deterministic JSON writer/parser,
+   metrics registry semantics (histogram bucketing in particular),
+   tracer span discipline (nesting, orphan ends), Chrome-trace export
+   shape, registry-sourced Netsim per-type stats, and the headline
+   invariant — same seed ⇒ byte-identical trace and metrics exports,
+   pinned on a faulty asynchronous composite repair. *)
+
+module Jsonw = Xheal_obs.Jsonw
+module Metrics = Xheal_obs.Metrics
+module Tracer = Xheal_obs.Tracer
+module Scope = Xheal_obs.Scope
+module Chrome_trace = Xheal_obs.Chrome_trace
+module Graph = Xheal_graph.Graph
+module Gen = Xheal_graph.Generators
+module Xheal = Xheal_core.Xheal
+module Netsim = Xheal_distributed.Netsim
+module Election = Xheal_distributed.Election
+module Fault_plan = Xheal_distributed.Fault_plan
+module Schedule = Xheal_distributed.Schedule
+module Replay = Xheal_distributed.Replay
+
+(* ---------- Jsonw ---------- *)
+
+let test_jsonw_roundtrip () =
+  let v =
+    Jsonw.Obj
+      [
+        ("s", Jsonw.String "a\"b\\c\n\t");
+        ("i", Jsonw.Int (-42));
+        ("f", Jsonw.Float 1.5);
+        ("b", Jsonw.Bool true);
+        ("n", Jsonw.Null);
+        ("l", Jsonw.List [ Jsonw.Int 1; Jsonw.Obj []; Jsonw.List [] ]);
+      ]
+  in
+  (match Jsonw.of_string (Jsonw.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  (match Jsonw.of_string (Jsonw.to_string_pretty v) with
+  | Ok v' -> Alcotest.(check bool) "pretty roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Result.is_error (Jsonw.of_string "{} x"));
+  Alcotest.(check bool) "bad token rejected" true
+    (Result.is_error (Jsonw.of_string "{\"a\":nope}"))
+
+(* ---------- Metrics: histogram bucketing ---------- *)
+
+let test_histogram_bucketing () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "h" ~buckets:[| 10; 20 |] in
+  List.iter (Metrics.observe h) [ 5; 10; 11; 20; 21; 100 ];
+  Alcotest.(check int) "count" 6 (Metrics.histogram_count h);
+  Alcotest.(check int) "sum" 167 (Metrics.histogram_sum h);
+  Alcotest.(check (list (pair (option int) int)))
+    "inclusive upper bounds + overflow"
+    [ (Some 10, 2); (Some 20, 2); (None, 2) ]
+    (Metrics.histogram_buckets h);
+  (* Re-acquiring with identical bounds is the same histogram. *)
+  Metrics.observe (Metrics.histogram reg "h" ~buckets:[| 10; 20 |]) 1;
+  Alcotest.(check int) "shared on re-acquire" 7 (Metrics.histogram_count h);
+  Alcotest.(check bool) "bounds mismatch rejected" true
+    (try
+       ignore (Metrics.histogram reg "h" ~buckets:[| 10; 30 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (try
+       ignore (Metrics.histogram reg "h2" ~buckets:[| 5; 5 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Metrics.counter reg "h");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Tracer: nesting and orphan detection ---------- *)
+
+let test_span_nesting () =
+  let tr = Tracer.create () in
+  Tracer.begin_span tr ~track:0 ~name:"outer" ~now:0;
+  Tracer.begin_span tr ~track:0 ~name:"inner" ~now:2;
+  Alcotest.(check int) "two open" 2 (Tracer.open_spans tr);
+  Alcotest.(check bool) "check flags open spans" true
+    (Result.is_error (Tracer.check tr));
+  Tracer.end_span tr ~track:0 ~now:5;
+  Tracer.end_span tr ~track:0 ~now:9;
+  Alcotest.(check bool) "balanced" true (Result.is_ok (Tracer.check tr));
+  (* Spans appear at completion: inner closes first. *)
+  (match Tracer.events tr with
+  | [ { Tracer.name = "inner"; ts = 2; data = Tracer.Span { dur = 3 }; _ };
+      { Tracer.name = "outer"; ts = 0; data = Tracer.Span { dur = 9 }; _ } ] ->
+    ()
+  | evs -> Alcotest.failf "unexpected events (%d)" (List.length evs));
+  (* Same-track spans nest; an end on an empty track is an orphan. *)
+  Alcotest.(check bool) "orphan end rejected" true
+    (try
+       Tracer.end_span tr ~track:7 ~now:1;
+       false
+     with Invalid_argument _ -> true);
+  Tracer.begin_span tr ~track:1 ~name:"late" ~now:10;
+  Alcotest.(check bool) "end before begin rejected" true
+    (try
+       Tracer.end_span tr ~track:1 ~now:4;
+       false
+     with Invalid_argument _ -> true)
+
+let test_set_base () =
+  let tr = Tracer.create () in
+  Tracer.begin_span tr ~track:0 ~name:"p1" ~now:0;
+  Tracer.end_span tr ~track:0 ~now:4;
+  Tracer.set_base tr 4;
+  Tracer.begin_span tr ~track:0 ~name:"p2" ~now:0;
+  Tracer.end_span tr ~track:0 ~now:3;
+  match Tracer.events tr with
+  | [ { Tracer.ts = 0; _ }; { Tracer.ts = 4; data = Tracer.Span { dur = 3 }; _ } ] -> ()
+  | _ -> Alcotest.fail "base offset not applied"
+
+(* ---------- Chrome-trace export shape ---------- *)
+
+let test_chrome_export () =
+  let tr = Tracer.create () in
+  Tracer.name_track tr ~track:Tracer.control_track "phases";
+  Tracer.name_track tr ~track:0 "node 0";
+  Tracer.begin_span tr ~track:Tracer.control_track ~name:"repair" ~now:0;
+  Tracer.instant tr ~track:0 ~name:"recv:hello" ~now:1;
+  Tracer.sample tr ~track:Tracer.control_track ~name:"inflight" ~now:1 ~value:3;
+  Tracer.end_span tr ~track:Tracer.control_track ~now:2;
+  let json = Chrome_trace.to_json tr in
+  let events =
+    match Jsonw.member "traceEvents" json with
+    | Some (Jsonw.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let phs =
+    List.filter_map
+      (fun e -> match Jsonw.member "ph" e with Some (Jsonw.String p) -> Some p | _ -> None)
+      events
+  in
+  Alcotest.(check (list string)) "event kinds in order" [ "M"; "M"; "i"; "C"; "X" ] phs;
+  (* The control track must not export a negative tid. *)
+  List.iter
+    (fun e ->
+      match Jsonw.member "tid" e with
+      | Some (Jsonw.Int t) -> Alcotest.(check bool) "tid >= 0" true (t >= 0)
+      | _ -> Alcotest.fail "event without tid")
+    events;
+  match Jsonw.of_string (Chrome_trace.to_string tr) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export is not valid JSON: %s" e
+
+(* ---------- Netsim stats come from the registry ---------- *)
+
+let test_per_type_consistency () =
+  let obs = Scope.create () in
+  let plan = Fault_plan.make ~seed:9 ~drop:0.15 ~duplicate:0.1 () in
+  let stats, leader =
+    Election.run_robust ~rng:(Random.State.make [| 21 |]) ~obs ~plan ~max_rounds:600
+      (List.init 24 Fun.id)
+  in
+  Alcotest.(check bool) "elected someone" true (leader <> None);
+  Alcotest.(check bool) "has per-type rows" true (stats.Netsim.per_type <> []);
+  let sum f = List.fold_left (fun acc (_, c) -> acc + f c) 0 stats.Netsim.per_type in
+  Alcotest.(check int) "per-type drops sum to stats.dropped" stats.Netsim.dropped
+    (sum (fun c -> c.Netsim.dropped));
+  Alcotest.(check int) "per-type dups sum to stats.duplicated" stats.Netsim.duplicated
+    (sum (fun c -> c.Netsim.duplicated));
+  (* The same counters are visible in the scope's registry dump. *)
+  let counters = Metrics.counters obs.Scope.metrics in
+  List.iter
+    (fun (kind, c) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "registry matches per_type for %s" kind)
+        (Some c.Netsim.delivered)
+        (List.assoc_opt ("netsim.delivered." ^ kind) counters))
+    stats.Netsim.per_type
+
+(* ---------- Byte-identical exports on replay ---------- *)
+
+(* One faulty asynchronous composite repair: a seeded engine run feeds
+   its recorded ops to the protocol replay under drops/dups/delays on
+   an async schedule, all observed in one scope. *)
+let observed_repair seed =
+  let obs = Scope.create () in
+  let rng = Random.State.make [| seed |] in
+  let eng = Xheal.create ~rng (Gen.random_regular ~rng 24 4) in
+  let atk = Random.State.make [| seed + 1 |] in
+  let prng = Random.State.make [| seed + 2 |] in
+  let plan = Fault_plan.make ~seed:(seed + 3) ~drop:0.08 ~duplicate:0.05 ~delay:0.1 () in
+  let schedule = Schedule.async ~seed:(seed + 4) ~fairness:6 in
+  for _ = 1 to 4 do
+    let nodes = Graph.nodes (Xheal.graph eng) in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal.delete eng v;
+    ignore
+      (Replay.deletion ~rng:prng ~obs ~plan ~schedule ~max_rounds:20_000 ~d:2
+         (Xheal.last_ops eng))
+  done;
+  Alcotest.(check bool) "trace is well-formed" true
+    (Result.is_ok (Tracer.check obs.Scope.tracer));
+  (Scope.trace_string obs, Scope.metrics_string obs)
+
+let test_trace_determinism () =
+  List.iter
+    (fun seed ->
+      let trace1, metrics1 = observed_repair seed in
+      let trace2, metrics2 = observed_repair seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace bytes identical (seed %d)" seed)
+        true (String.equal trace1 trace2);
+      Alcotest.(check bool)
+        (Printf.sprintf "metrics bytes identical (seed %d)" seed)
+        true (String.equal metrics1 metrics2);
+      Alcotest.(check bool) "trace non-trivial" true (String.length trace1 > 1000))
+    [ 3; 17 ]
+
+(* The instrumented engine is deterministic too, and observation leaves
+   the repair outcome untouched (obs never draws from the rng). *)
+let observed_engine seed =
+  let obs = Scope.create () in
+  let rng = Random.State.make [| seed |] in
+  let eng = Xheal.create ~obs ~rng (Gen.random_regular ~rng 32 4) in
+  let atk = Random.State.make [| seed + 1 |] in
+  for _ = 1 to 8 do
+    let nodes = Graph.nodes (Xheal.graph eng) in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal.delete eng v
+  done;
+  Alcotest.(check bool) "engine trace well-formed" true
+    (Result.is_ok (Tracer.check obs.Scope.tracer));
+  ((Xheal.totals eng).Xheal_core.Cost.total_messages,
+   (Scope.trace_string obs, Scope.metrics_string obs))
+
+let test_engine_determinism () =
+  let msgs1, (trace1, metrics1) = observed_engine 11 in
+  let msgs2, (trace2, metrics2) = observed_engine 11 in
+  Alcotest.(check int) "same repairs" msgs1 msgs2;
+  Alcotest.(check bool) "engine trace bytes identical" true (String.equal trace1 trace2);
+  Alcotest.(check bool) "engine metrics bytes identical" true
+    (String.equal metrics1 metrics2);
+  (* Observation is passive: a bare engine on the same seed produces the
+     same totals. *)
+  let rng = Random.State.make [| 11 |] in
+  let bare = Xheal.create ~rng (Gen.random_regular ~rng 32 4) in
+  let atk = Random.State.make [| 12 |] in
+  for _ = 1 to 8 do
+    let nodes = Graph.nodes (Xheal.graph bare) in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal.delete bare v
+  done;
+  Alcotest.(check int) "observation does not perturb the engine" msgs1
+    (Xheal.totals bare).Xheal_core.Cost.total_messages
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "jsonw roundtrip" `Quick test_jsonw_roundtrip;
+        Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+        Alcotest.test_case "span nesting and orphans" `Quick test_span_nesting;
+        Alcotest.test_case "set_base offsets phases" `Quick test_set_base;
+        Alcotest.test_case "chrome trace export shape" `Quick test_chrome_export;
+        Alcotest.test_case "per-type stats source from registry" `Quick
+          test_per_type_consistency;
+        Alcotest.test_case "faulty async repair exports byte-identically" `Quick
+          test_trace_determinism;
+        Alcotest.test_case "observed engine is deterministic and passive" `Quick
+          test_engine_determinism;
+      ] );
+  ]
