@@ -33,6 +33,18 @@ let get_number name json =
   | J.Float f -> f
   | _ -> fail "field %S is not a number" name
 
+let check_overhead = function
+  | J.Obj _ as row ->
+    let defense = get_string "defense" row in
+    if String.length defense = 0 then fail "empty defense name";
+    let messages = get_int "messages" row in
+    let words = get_int "words" row in
+    let confirms = get_int "confirms" row in
+    let votes = get_int "votes" row in
+    if messages <= 0 || words <= 0 then fail "defense %S carries no traffic" defense;
+    if confirms < 0 || votes < 0 then fail "defense %S has negative counts" defense
+  | _ -> fail "byzantine_overhead element is not an object"
+
 let check_phase = function
   | J.Obj _ as row ->
     let phase = get_string "phase" row in
@@ -64,6 +76,12 @@ let check_file path =
     let total = List.fold_left (fun acc row -> acc + check_phase row) 0 rows in
     if total <= 0 then fail "phases carry no messages"
   | Some _ -> fail "field \"phases\" is not an array"
+  | None -> ());
+  (match J.member "byzantine_overhead" json with
+  | Some (J.List rows) ->
+    if rows = [] then fail "byzantine_overhead array is empty";
+    List.iter check_overhead rows
+  | Some _ -> fail "field \"byzantine_overhead\" is not an array"
   | None -> ());
   Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall
 

@@ -103,7 +103,24 @@ let scenario_experiments ~quick =
     timed (fun () -> Xheal_experiments.Registry.run_all ~quick ~out:print_string ())
   in
   Printf.printf "experiment claims: %s\n" (if ok then "ALL PASS" else "SOME FAILED");
-  write_bench ~name:"experiments" ~quick ~wall_ms [ ("ok", Jsonw.Bool ok) ];
+  (* E14's fixed Byzantine scenario, one row per defense configuration:
+     what each counter-measure costs in messages/words, with the
+     Confirm/Vote deliveries (the defense's own traffic) broken out. *)
+  let overhead_rows =
+    List.map
+      (fun (defense, messages, words, confirms, votes) ->
+        Jsonw.Obj
+          [
+            ("defense", Jsonw.String defense);
+            ("messages", Jsonw.Int messages);
+            ("words", Jsonw.Int words);
+            ("confirms", Jsonw.Int confirms);
+            ("votes", Jsonw.Int votes);
+          ])
+      (Xheal_experiments.E14_byzantine.overhead ())
+  in
+  write_bench ~name:"experiments" ~quick ~wall_ms
+    [ ("ok", Jsonw.Bool ok); ("byzantine_overhead", Jsonw.List overhead_rows) ];
   print_newline ();
   ok
 

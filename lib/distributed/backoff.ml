@@ -1,0 +1,48 @@
+type t =
+  | Fixed of int
+  | Exponential of { base : int; cap : int; salt : int }
+
+let fixed every =
+  if every < 1 then invalid_arg "Backoff.fixed: interval must be >= 1";
+  Fixed every
+
+let exponential ?(salt = 0) ~base ~cap () =
+  if base < 1 then invalid_arg "Backoff.exponential: base must be >= 1";
+  if cap < base then invalid_arg "Backoff.exponential: cap must be >= base";
+  Exponential { base; cap; salt }
+
+(* Same avalanche as {!Schedule.mix}: jitter must be a pure function of
+   (salt, node, attempt) so retries replay deterministically. *)
+let mix z =
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x45d9f3b in
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x45d9f3b in
+  let z = z lxor (z lsr 16) in
+  z land 0x3FFFFFFF
+
+let interval t ~node ~attempt =
+  let attempt = max 0 attempt in
+  match t with
+  | Fixed every -> every
+  | Exponential { base; cap; salt } ->
+    (* base * 2^attempt, saturating at cap, plus deterministic jitter of
+       up to half the raw interval (still capped) to desynchronise
+       retries across nodes. *)
+    let raw =
+      if attempt >= 30 then cap else min cap (base * (1 lsl attempt))
+    in
+    let jitter =
+      if raw <= 1 then 0
+      else mix (salt + mix ((node * 65_537) + attempt)) mod (1 + (raw / 2))
+    in
+    min cap (raw + jitter)
+
+let max_interval = function
+  | Fixed every -> every
+  | Exponential { cap; _ } -> cap
+
+let pp ppf = function
+  | Fixed every -> Format.fprintf ppf "backoff(fixed=%d)" every
+  | Exponential { base; cap; salt } ->
+    Format.fprintf ppf "backoff(exp, base=%d, cap=%d, salt=%d)" base cap salt

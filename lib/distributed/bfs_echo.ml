@@ -101,9 +101,22 @@ let run ?obs ~graph ~root () =
 (* A neighbour with no entry yet is still unresolved. *)
 type nstatus = Child | NonChild
 
-let install_robust ?obs ?(retry_every = 3) net ~graph ~root =
+(* subtree_quorum defense: a child's Subtree claim is parked instead of
+   merged. The parent asks every claimed member directly (Vote query —
+   a path the claiming child does not sit on) whether it really joined
+   the flood; only confirmed ids are merged and the child is acked only
+   once its claim settles. Phantom ids injected in transit are
+   unregistered (or never visited), never confirm, and are discarded
+   after [give_up] query attempts — so an equivocator can delay the
+   echo but not pad the collected component. *)
+let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
+    ?(give_up = 12) net ~graph ~root =
   if not (Graph.has_node graph root) then
     invalid_arg "Bfs_echo.install_robust: root not in graph";
+  let policy =
+    match backoff with Some b -> b | None -> Backoff.fixed retry_every
+  in
+  let quorum = defense.Defense.subtree_quorum in
   let result = ref None in
   Graph.iter_nodes
     (fun u ->
@@ -111,13 +124,31 @@ let install_robust ?obs ?(retry_every = 3) net ~graph ~root =
       let parent = ref None in
       let up_acked = ref false in
       let next_retry = ref 0 in
+      let attempt = ref 0 in
       let nbrs = Graph.neighbors graph u in
       let status = Hashtbl.create (max 4 (List.length nbrs)) in
       let subtree = Hashtbl.create 4 in
+      (* Quorum state: pending claims per child, plus the global
+         confirmed/abandoned id sets and per-id query counters. *)
+      let claims : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+      let verified : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      let rejected : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      let vote_tries : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let query out a =
+        let c = Option.value ~default:0 (Hashtbl.find_opt vote_tries a) in
+        if c < give_up then begin
+          Hashtbl.replace vote_tries a (c + 1);
+          out := (a, Msg.Vote { claim = a; accept = false }) :: !out
+        end
+        else Hashtbl.replace rejected a ()
+      in
       let handler ~now ~inbox =
         let out = ref [] in
         let retry_due = now >= !next_retry in
-        if retry_due then next_retry := now + retry_every;
+        if retry_due then begin
+          next_retry := now + Backoff.interval policy ~node:u ~attempt:!attempt;
+          incr attempt
+        end;
         let newly_visited = ref false in
         if now = 0 && u = root then begin
           visited := true;
@@ -140,11 +171,66 @@ let install_robust ?obs ?(retry_every = 3) net ~graph ~root =
               if Hashtbl.find_opt status src <> Some Child then
                 Hashtbl.replace status src NonChild
             | Msg.Subtree addrs ->
-              if not (Hashtbl.mem subtree src) then Hashtbl.replace subtree src addrs;
-              out := (src, Msg.Ack) :: !out
+              if quorum then begin
+                if
+                  (not (Hashtbl.mem subtree src)) && not (Hashtbl.mem claims src)
+                then begin
+                  Hashtbl.replace claims src addrs;
+                  List.iter
+                    (fun a ->
+                      if
+                        (not (Hashtbl.mem verified a))
+                        && (not (Hashtbl.mem rejected a))
+                        && not (Hashtbl.mem vote_tries a)
+                      then query out a)
+                    addrs
+                end
+              end
+              else begin
+                if not (Hashtbl.mem subtree src) then Hashtbl.replace subtree src addrs;
+                out := (src, Msg.Ack) :: !out
+              end
+            | Msg.Vote { claim; accept = false } ->
+              (* Membership probe about myself: confirm only if I really
+                 joined the flood. *)
+              if claim = u && !visited then
+                out := (src, Msg.Vote { claim = u; accept = true }) :: !out
+            | Msg.Vote { claim; accept = true } ->
+              if src = claim then Hashtbl.replace verified claim ()
             | Msg.Ack -> if !parent = Some src then up_acked := true
             | _ -> ())
           inbox;
+        if quorum then begin
+          (* Re-query unconfirmed claimed ids on the retry cadence, then
+             settle any claim whose members are all confirmed or
+             abandoned. Claim order is sorted so vote traffic replays
+             identically. *)
+          let claim_srcs =
+            List.sort Int.compare
+              (Hashtbl.fold (fun src _ acc -> src :: acc) claims [])
+          in
+          List.iter
+            (fun src ->
+              let addrs = Hashtbl.find claims src in
+              if retry_due then
+                List.iter
+                  (fun a ->
+                    if
+                      (not (Hashtbl.mem verified a)) && not (Hashtbl.mem rejected a)
+                    then query out a)
+                  addrs;
+              if
+                List.for_all
+                  (fun a -> Hashtbl.mem verified a || Hashtbl.mem rejected a)
+                  addrs
+              then begin
+                Hashtbl.remove claims src;
+                Hashtbl.replace subtree src
+                  (List.filter (fun a -> Hashtbl.mem verified a) addrs);
+                out := (src, Msg.Ack) :: !out
+              end)
+            claim_srcs
+        end;
         if !visited then begin
           let others = List.filter (fun v -> Some v <> !parent) nbrs in
           let unresolved = List.filter (fun v -> not (Hashtbl.mem status v)) others in
@@ -183,10 +269,15 @@ let install_robust ?obs ?(retry_every = 3) net ~graph ~root =
   fun () -> !result
 
 let run_robust ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
-    ?max_rounds ~graph ~root () =
+    ?backoff ?defense ?give_up ?max_rounds ~graph ~root () =
   Proto_obs.with_span obs "bfs-echo" (fun () ->
       let net = Netsim.create ?obs () in
-      let get = install_robust ?obs ?retry_every net ~graph ~root in
-      let grace = (2 * Option.value ~default:3 retry_every) + 2 in
+      let get = install_robust ?obs ?retry_every ?backoff ?defense ?give_up net ~graph ~root in
+      let max_wait =
+        match backoff with
+        | Some b -> Backoff.max_interval b
+        | None -> Option.value ~default:3 retry_every
+      in
+      let grace = (2 * max_wait) + 2 in
       let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
       (stats, get ()))

@@ -23,6 +23,9 @@ val run :
 val install_robust :
   ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
+  ?give_up:int ->
   Netsim.t ->
   graph:Xheal_graph.Graph.t ->
   root:int ->
@@ -35,19 +38,33 @@ val install_robust :
     never corrupted. Retries are clocked in elapsed virtual time, so
     the protocol is schedule-agnostic. The getter returns [None] if the
     echo never completed. With [obs], the root drops a ["collected"]
-    instant on its own track when the echo completes. *)
+    instant on its own track when the echo completes.
+
+    [backoff] (default [Backoff.fixed retry_every]) paces all retry
+    loops (Explore re-floods, Subtree re-echoes, quorum re-queries).
+
+    With [defense.subtree_quorum] on, a child's [Subtree] claim is
+    parked until every claimed member confirms its own participation
+    over a direct [Vote] round-trip; unconfirmed ids are dropped after
+    [give_up] (default 12) query attempts, the child is acked only once
+    its claim settles, and only confirmed ids are merged — in-transit
+    phantom members never reach the root. *)
 
 val run_robust :
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
+  ?give_up:int ->
   ?max_rounds:int ->
   graph:Xheal_graph.Graph.t ->
   root:int ->
   unit ->
   Netsim.stats * int list option
 (** Fresh simulator + {!install_robust} under the given fault plan and
-    delivery schedule (default {!Schedule.sync}). Check
+    delivery schedule (default {!Schedule.sync}); the quiescence grace
+    window covers the backoff policy's longest interval. Check
     [stats.converged]: a [false] means the protocol was still retrying
     (e.g. a crashed node withheld its subtree) at [max_rounds]. *)

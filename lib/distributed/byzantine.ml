@@ -1,0 +1,78 @@
+(* Pure in-transit payload rewriting for Byzantine senders. No RNG is
+   drawn here: every rewrite is a function of (plan seed, src, dst, the
+   per-link send index k), so a Byzantine run replays bit-for-bit and a
+   plan with [byzantine = []] is byte-identical to the pre-Byzantine
+   simulator. Rewrites are additive-only — phantom entries are appended,
+   real entries are never removed — so omission attacks are modelled
+   exclusively by [Silent_on_protocol] (which fails loudly as
+   non-convergence, never as silent corruption). *)
+
+(* Phantom ids live far above any real node id so corruption detection
+   in experiments (and the defenses' membership checks) can recognise
+   them without a registry lookup. *)
+let phantom_base = 1_000_000
+
+(* Same triple xor-shift-multiply avalanche as {!Schedule.mix}: 32-bit
+   constants, identical arithmetic on 32- and 64-bit hosts. *)
+let mix z =
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x45d9f3b in
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x45d9f3b in
+  let z = z lxor (z lsr 16) in
+  z land 0x3FFFFFFF
+
+let hash ~seed ~src ~dst ~k =
+  mix (seed + mix ((src * 2_147_483_629) + mix ((dst * 65_537) + mix (k + 0xb12a))))
+
+(* Only the protocol payloads that carry election/collection state are
+   attacked; acks, handshakes and the defense messages themselves pass
+   clean. A Byzantine node runs the honest handler — the lie happens in
+   transit, which is what makes per-recipient equivocation possible. *)
+let targeted (msg : Msg.t) =
+  match msg with
+  | Challenge _ | Victory _ | Subtree _ | Edges _ -> true
+  | Explore _ | Accept | Reject | Hello | Ack | Confirm _ | Vote _ -> false
+
+let phantom h = phantom_base + (h land 0xFFFF)
+
+(* Equivocation: the rewrite varies per (recipient, send index), so two
+   neighbours — or the same neighbour across two retries — see
+   different payloads. In-domain rank rewrites are caught only by the
+   rank-commitment consistency check; appended phantom members only by
+   the membership quorum. *)
+let equivocate ~h (msg : Msg.t) : Msg.t =
+  match msg with
+  | Challenge { rank = _; candidate } -> Challenge { rank = mix h; candidate }
+  | Victory { leader = _; members } ->
+    let m = List.length members in
+    let leader = if m = 0 then phantom h else List.nth members (h mod m) in
+    Victory { leader; members = members @ [ phantom h ] }
+  | Subtree addrs -> Subtree (addrs @ [ phantom h ])
+  | Edges es -> Edges (es @ [ (phantom h, phantom (mix h)) ])
+  | m -> m
+
+(* Payload corruption: the same lie to every recipient (the hash is keyed
+   on the sender alone). Ranks land out of the honest coin domain
+   [0, 0x3FFFFFFF), so the domain check alone catches them. *)
+let corrupt ~h (msg : Msg.t) : Msg.t =
+  match msg with
+  | Challenge { rank = _; candidate } ->
+    Challenge { rank = 0x40000000 + (h land 0xFFFF); candidate }
+  | Victory { leader = _; members } ->
+    Victory { leader = phantom h; members = members @ [ phantom h ] }
+  | Subtree addrs -> Subtree (addrs @ [ phantom h ])
+  | Edges es -> Edges (es @ [ (phantom h, phantom (mix h)) ])
+  | m -> m
+
+let tamper (plan : Fault_plan.t) ~src ~dst ~k (msg : Msg.t) : Msg.t option =
+  match Fault_plan.behaviour_of plan src with
+  | None -> Some msg
+  | Some _ when not (targeted msg) -> Some msg
+  | Some Silent_on_protocol -> None
+  | Some Equivocate ->
+    Some (equivocate ~h:(hash ~seed:plan.seed ~src ~dst ~k) msg)
+  | Some Corrupt_payload ->
+    Some (corrupt ~h:(hash ~seed:plan.seed ~src ~dst:0 ~k:0) msg)
+
+let is_phantom id = id >= phantom_base

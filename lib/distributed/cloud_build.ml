@@ -28,12 +28,30 @@ let plan_edges ~rng ~d members =
    retrying until max_rounds, which reports [converged = false].
 
    Retries fire on elapsed virtual time (now >= next_retry), not round
-   multiples, so the build is schedule-agnostic. *)
+   multiples, so the build is schedule-agnostic.
+
+   edge_mutual defense: a Byzantine leader's Edges list is rewritten in
+   transit, so a member may be told about an edge its peer was never
+   told about. With the defense on, the higher-id endpoint answers a
+   Hello only when the initiating peer appears in its own incident
+   list, so a one-sided (forged) edge is never established; Hello
+   probing is also capped at [give_up] attempts per peer. Phantom
+   endpoints are unregistered, so probing them never blocks quiescence
+   (those sends are dropped, not activity) — the cap bounds the probe
+   traffic wasted on them while the run is otherwise alive. With the
+   defense off, behaviour is exactly the historical protocol, including
+   unbounded retries — a crashed (registered) peer then shows up as
+   [converged = false]. *)
 let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?(retry_every = 3) ?max_rounds ~d ~leader ~members () =
+    ?(retry_every = 3) ?backoff ?(defense = Defense.none) ?(give_up = 12) ?max_rounds
+    ~d ~leader ~members () =
   if not (List.mem leader members) then
     invalid_arg "Cloud_build.run_robust: leader must be a member";
   Proto_obs.with_span obs "cloud-build" (fun () ->
+  let policy =
+    match backoff with Some b -> b | None -> Backoff.fixed retry_every
+  in
+  let mutual = defense.Defense.edge_mutual in
   let edges = plan_edges ~rng ~d members in
   let incident u = List.filter (fun (a, b) -> a = u || b = u) edges in
   let net = Netsim.create ?obs () in
@@ -42,7 +60,9 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
       let my_edges = ref (if u = leader then Some (incident u) else None) in
       let got_hello = Hashtbl.create 8 in
       let edges_acked = Hashtbl.create 8 in
+      let hello_tries = Hashtbl.create 8 in
       let next_retry = ref 0 in
+      let attempt = ref 0 in
       let peers () =
         match !my_edges with
         | None -> []
@@ -51,7 +71,10 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
       let handler ~now ~inbox =
         let out = ref [] in
         let retry_due = now >= !next_retry in
-        if retry_due then next_retry := now + retry_every;
+        if retry_due then begin
+          next_retry := now + Backoff.interval policy ~node:u ~attempt:!attempt;
+          incr attempt
+        end;
         let fresh = ref (now = 0 && u = leader) in
         List.iter
           (fun (src, msg) ->
@@ -63,8 +86,13 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
               end;
               out := (src, Msg.Ack) :: !out
             | Msg.Hello ->
-              Hashtbl.replace got_hello src ();
-              if src < u then out := (src, Msg.Hello) :: !out
+              (* Mutuality check: believe a handshake only if my own
+                 edge list corroborates it. Before my Edges arrive I
+                 stay silent; the initiator's retries cover the gap. *)
+              if (not mutual) || List.mem src (peers ()) then begin
+                Hashtbl.replace got_hello src ();
+                if src < u then out := (src, Msg.Hello) :: !out
+              end
             | Msg.Ack -> if u = leader then Hashtbl.replace edges_acked src ()
             | _ -> ())
           inbox;
@@ -78,12 +106,22 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
           List.filter (fun p -> p > u && not (Hashtbl.mem got_hello p)) (peers ())
         in
         if !fresh || (retry_due && pending <> []) then
-          List.iter (fun p -> out := (p, Msg.Hello) :: !out) pending;
+          List.iter
+            (fun p ->
+              let c = Option.value ~default:0 (Hashtbl.find_opt hello_tries p) in
+              if (not mutual) || c < give_up then begin
+                Hashtbl.replace hello_tries p (c + 1);
+                out := (p, Msg.Hello) :: !out
+              end)
+            pending;
         !out
       in
       Netsim.add_node net u handler)
     members;
-  let grace = (2 * retry_every) + 2 in
+  let max_wait =
+    match backoff with Some b -> Backoff.max_interval b | None -> retry_every
+  in
+  let grace = (2 * max_wait) + 2 in
   let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in
   (stats, List.sort compare_endpoints edges))
 

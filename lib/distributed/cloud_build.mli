@@ -22,6 +22,9 @@ val run_robust :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
+  ?give_up:int ->
   ?max_rounds:int ->
   d:int ->
   leader:int ->
@@ -36,4 +39,15 @@ val run_robust :
     asynchronous schedules ([schedule], default {!Schedule.sync}). A
     crashed member makes the run exhaust [max_rounds] and report
     [converged = false]. The returned edge list is the leader's plan, as
-    in {!run}. *)
+    in {!run}.
+
+    [backoff] (default [Backoff.fixed retry_every]) paces the Edges and
+    Hello retry loops; the grace window covers its longest interval.
+
+    With [defense.edge_mutual] on, the responding (higher-id) endpoint
+    answers a Hello only when the initiator appears in its own incident
+    list — an edge forged in transit toward one endpoint only is never
+    established — and Hello probing is capped at [give_up] (default 12)
+    attempts per peer, bounding the probe traffic wasted on phantom
+    endpoints (which, being unregistered, never threatened quiescence
+    in the first place). *)

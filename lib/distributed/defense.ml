@@ -1,0 +1,34 @@
+type t = {
+  victory_echo : bool;
+  rank_commit : bool;
+  subtree_quorum : bool;
+  edge_mutual : bool;
+}
+
+let none =
+  { victory_echo = false; rank_commit = false; subtree_quorum = false; edge_mutual = false }
+
+let all =
+  { victory_echo = true; rank_commit = true; subtree_quorum = true; edge_mutual = true }
+
+let make ?(victory_echo = false) ?(rank_commit = false) ?(subtree_quorum = false)
+    ?(edge_mutual = false) () =
+  { victory_echo; rank_commit; subtree_quorum; edge_mutual }
+
+let is_none t =
+  (not t.victory_echo) && (not t.rank_commit) && (not t.subtree_quorum)
+  && not t.edge_mutual
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "defense(none)"
+  else
+    Format.fprintf ppf "defense(%s)"
+      (String.concat "+"
+         (List.filter_map
+            (fun (on, name) -> if on then Some name else None)
+            [
+              (t.victory_echo, "victory-echo");
+              (t.rank_commit, "rank-commit");
+              (t.subtree_quorum, "subtree-quorum");
+              (t.edge_mutual, "edge-mutual");
+            ]))

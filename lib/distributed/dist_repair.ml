@@ -6,6 +6,7 @@ type stats = {
   dropped : int;
   duplicated : int;
   delayed : int;
+  tampered : int;
 }
 
 let add s (n : Netsim.stats) =
@@ -17,11 +18,12 @@ let add s (n : Netsim.stats) =
     dropped = s.dropped + n.Netsim.dropped;
     duplicated = s.duplicated + n.Netsim.duplicated;
     delayed = s.delayed + n.Netsim.delayed;
+    tampered = s.tampered + n.Netsim.tampered;
   }
 
 let zero =
   { rounds = 0; messages = 0; words = 0; converged = true; dropped = 0; duplicated = 0;
-    delayed = 0 }
+    delayed = 0; tampered = 0 }
 
 (* Phase k of a composite repair gets its own fault-RNG and delay-
    adversary streams so the same losses and reorderings do not recur in
@@ -56,17 +58,19 @@ let finish_phase obs phase (s : Netsim.stats) acc =
   Proto_obs.advance_base obs s.Netsim.rounds;
   add acc s
 
-let build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader ~members acc =
+let build_phase ~rng ?obs ?backoff ?defense ~plan ~schedule ?max_rounds ~d ~leader
+    ~members acc =
   let s, _ =
     if simple plan schedule then Cloud_build.run ~rng ?obs ~d ~leader ~members ()
     else
       Cloud_build.run_robust ~rng ?obs ~plan:(phase_plan plan 2)
-        ~schedule:(phase_sched schedule 2) ?max_rounds ~d ~leader ~members ()
+        ~schedule:(phase_sched schedule 2) ?backoff ?defense ?max_rounds ~d ~leader
+        ~members ()
   in
   finish_phase obs "cloud-build" s acc
 
 let primary_build_named ~rng ?obs ~span ?(plan = Fault_plan.none)
-    ?(schedule = Schedule.sync) ?max_rounds ~d ~neighbors () =
+    ?(schedule = Schedule.sync) ?backoff ?defense ?max_rounds ~d ~neighbors () =
   match neighbors with
   | [] -> zero
   | _ ->
@@ -75,37 +79,42 @@ let primary_build_named ~rng ?obs ~span ?(plan = Fault_plan.none)
           if simple plan schedule then Election.run ~rng ?obs neighbors
           else
             Election.run_robust ~rng ?obs ~plan:(phase_plan plan 1)
-              ~schedule:(phase_sched schedule 1) ?max_rounds neighbors
+              ~schedule:(phase_sched schedule 1) ?backoff ?defense ?max_rounds neighbors
         in
         let leader = Option.value ~default:(List.hd neighbors) leader in
-        build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader ~members:neighbors
+        build_phase ~rng ?obs ?backoff ?defense ~plan ~schedule ?max_rounds ~d ~leader
+          ~members:neighbors
           (finish_phase obs "election" elect_stats zero))
 
-let primary_build ~rng ?obs ?plan ?schedule ?max_rounds ~d ~neighbors () =
-  primary_build_named ~rng ?obs ~span:"repair:primary-build" ?plan ?schedule ?max_rounds
-    ~d ~neighbors ()
+let primary_build ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d ~neighbors
+    () =
+  primary_build_named ~rng ?obs ~span:"repair:primary-build" ?plan ?schedule ?backoff
+    ?defense ?max_rounds ~d ~neighbors ()
 
-let secondary_stitch ~rng ?obs ?plan ?schedule ?max_rounds ~d ~bridges () =
-  primary_build_named ~rng ?obs ~span:"repair:secondary-stitch" ?plan ?schedule
-    ?max_rounds ~d ~neighbors:bridges ()
+let secondary_stitch ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d ~bridges
+    () =
+  primary_build_named ~rng ?obs ~span:"repair:secondary-stitch" ?plan ?schedule ?backoff
+    ?defense ?max_rounds ~d ~neighbors:bridges ()
 
-let combine ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?max_rounds
-    ~d ~union ~initiator () =
+let combine ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?backoff
+    ?defense ?max_rounds ~d ~union ~initiator () =
   repair_span obs "repair:combine" (fun () ->
       let bfs_stats, collected =
         if simple plan schedule then Bfs_echo.run ?obs ~graph:union ~root:initiator ()
         else
           Bfs_echo.run_robust ?obs ~plan:(phase_plan plan 3)
-            ~schedule:(phase_sched schedule 3) ?max_rounds ~graph:union ~root:initiator ()
+            ~schedule:(phase_sched schedule 3) ?backoff ?defense ?max_rounds ~graph:union
+            ~root:initiator ()
       in
       let members = Option.value ~default:[ initiator ] collected in
-      build_phase ~rng ?obs ~plan ~schedule ?max_rounds ~d ~leader:initiator ~members
+      build_phase ~rng ?obs ?backoff ?defense ~plan ~schedule ?max_rounds ~d
+        ~leader:initiator ~members
         (finish_phase obs "bfs-echo" bfs_stats zero))
 
 let splice ?obs ~d () =
   let s =
     { rounds = 1; messages = 4 * d; words = 8 * d; converged = true; dropped = 0;
-      duplicated = 0; delayed = 0 }
+      duplicated = 0; delayed = 0; tampered = 0 }
   in
   Proto_obs.phase_counters obs "splice" ~messages:s.messages ~rounds:s.rounds;
   Proto_obs.advance_base obs s.rounds;

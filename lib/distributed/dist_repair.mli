@@ -33,6 +33,7 @@ type stats = {
   dropped : int;
   duplicated : int;
   delayed : int;
+  tampered : int;  (** Sends rewritten/swallowed by Byzantine senders. *)
 }
 
 val add : stats -> Netsim.stats -> stats
@@ -42,19 +43,29 @@ val primary_build :
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
   ?max_rounds:int ->
   d:int ->
   neighbors:int list ->
   unit ->
   stats
 (** Case 1: the deleted node's neighbours elect a leader (they know each
-    other via NoN), which builds and distributes the new primary cloud. *)
+    other via NoN), which builds and distributes the new primary cloud.
+
+    [backoff] and [defense] apply to every hardened phase (they are
+    ignored on the fault-free synchronous fast path, which runs the
+    classic protocols): [backoff] replaces the fixed retry cadence,
+    [defense] toggles the Byzantine counter-measures of each phase
+    protocol. *)
 
 val secondary_stitch :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
   ?max_rounds:int ->
   d:int ->
   bridges:int list ->
@@ -67,6 +78,8 @@ val combine :
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
   ?max_rounds:int ->
   d:int ->
   union:Xheal_graph.Graph.t ->

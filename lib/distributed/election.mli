@@ -28,6 +28,9 @@ val install_robust :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
+  ?beliefs:(int, int) Hashtbl.t ->
   ?epoch_rounds:int ->
   ?give_up:int ->
   Netsim.t ->
@@ -48,7 +51,31 @@ val install_robust :
     asynchrony the deadline path may elect from a partial view, which
     still yields a valid participant. With [obs], the deciding
     coordinator drops an ["elected"] instant on its own track at the
-    decision time. *)
+    decision time.
+
+    [backoff] (default [Backoff.fixed retry_every]) paces every retry
+    loop: challenge re-sends, Victory re-broadcasts, and witness
+    re-queries all wait [Backoff.interval] between attempts, so an
+    exponential policy thins retry traffic on lossy runs without
+    touching protocol logic.
+
+    [defense] (default {!Defense.none}) toggles the Byzantine
+    counter-measures: [rank_commit] excludes candidates caught
+    announcing conflicting or out-of-domain ranks from the
+    championship, admits a candidate only after a second consistent
+    receipt of its rank (per-send rewrites are only catchable on
+    repeat receipts), and holds the coordinator's heard-everyone fast
+    path until every commitment settles; [victory_echo] parks each Victory claim until a
+    rotating witness (consulted over a second path) confirms the same
+    leader from its own adopted belief, acks the sender only after
+    confirmation, and discards mismatched claims. With two or fewer
+    participants no second path exists and [victory_echo] degenerates
+    to direct adoption.
+
+    [beliefs] (default: none) is filled with each node's adopted leader
+    ([node → leader]) so callers can measure disagreement — with
+    Byzantine senders in the plan, the shared return value alone cannot
+    distinguish one corrupted belief from consensus. *)
 
 val run_robust :
   rng:Random.State.t ->
@@ -56,12 +83,17 @@ val run_robust :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?retry_every:int ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
+  ?beliefs:(int, int) Hashtbl.t ->
   ?epoch_rounds:int ->
   ?give_up:int ->
   ?max_rounds:int ->
   int list ->
   Netsim.stats * int option
 (** Fresh simulator + {!install_robust} under the given fault plan and
-    delivery schedule (default {!Schedule.sync}).
+    delivery schedule (default {!Schedule.sync}). The quiescence grace
+    window is derived from the backoff policy's [max_interval] so capped
+    exponential retries are never cut off early.
     [stats.converged = false] means the protocol was still retrying at
     [max_rounds]; the returned leader (if any) is then untrustworthy. *)

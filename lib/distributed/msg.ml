@@ -8,6 +8,8 @@ type t =
   | Edges of (int * int) list
   | Hello
   | Ack
+  | Confirm of { leader : int; reply : bool }
+  | Vote of { claim : int; accept : bool }
 
 let size_words = function
   | Challenge _ -> 2
@@ -16,6 +18,8 @@ let size_words = function
   | Accept | Reject | Hello | Ack -> 1
   | Subtree addrs -> max 1 (List.length addrs)
   | Edges es -> max 1 (2 * List.length es)
+  | Confirm _ -> 2
+  | Vote _ -> 2
 
 let kind = function
   | Challenge _ -> "challenge"
@@ -27,6 +31,8 @@ let kind = function
   | Edges _ -> "edges"
   | Hello -> "hello"
   | Ack -> "ack"
+  | Confirm _ -> "confirm"
+  | Vote _ -> "vote"
 
 let pp ppf = function
   | Challenge { rank; candidate } -> Format.fprintf ppf "challenge(rank=%d, from=%d)" rank candidate
@@ -38,3 +44,7 @@ let pp ppf = function
   | Edges es -> Format.fprintf ppf "edges(|%d|)" (List.length es)
   | Hello -> Format.fprintf ppf "hello"
   | Ack -> Format.fprintf ppf "ack"
+  | Confirm { leader; reply } ->
+      Format.fprintf ppf "confirm(%d, %s)" leader (if reply then "reply" else "query")
+  | Vote { claim; accept } ->
+      Format.fprintf ppf "vote(%d, %s)" claim (if accept then "yes" else "ask")

@@ -20,6 +20,14 @@ type t =
       (** Generic acknowledgement used by the fault-tolerant protocol
           variants (each (src, dst) pair acks at most one thing at a
           time, so no payload is needed). *)
+  | Confirm of { leader : int; reply : bool }
+      (** Victory-echo defense: [reply = false] asks a witness "did you
+          also hear [leader] won?"; [reply = true] carries the witness's
+          own belief back. *)
+  | Vote of { claim : int; accept : bool }
+      (** Subtree-quorum defense: [accept = false] asks the claimed
+          member [claim] to confirm it really joined the sender's
+          subtree; [accept = true] is the member's confirmation. *)
 
 val pp : Format.formatter -> t -> unit
 

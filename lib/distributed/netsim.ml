@@ -16,6 +16,7 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable delayed : int;
+  mutable tampered : int;
   (* Observability. [reg] always exists (the per-message-type counters
      of [stats.per_type] are read back from it, so stats and metrics
      cannot drift); [obs] is the externally supplied scope, present only
@@ -24,7 +25,12 @@ type t = {
   obs : Obs.Scope.t option;
 }
 
-type type_counts = { delivered : int; dropped : int; duplicated : int }
+type type_counts = {
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  tampered : int;
+}
 
 type stats = {
   rounds : int;
@@ -34,6 +40,7 @@ type stats = {
   dropped : int;
   duplicated : int;
   delayed : int;
+  tampered : int;
   per_type : (string * type_counts) list;
 }
 
@@ -42,7 +49,7 @@ let create ?obs () =
     match obs with Some sc -> sc.Obs.Scope.metrics | None -> Metrics.create ()
   in
   { nodes = Hashtbl.create 32; initial = []; sent = 0; words = 0; dropped = 0;
-    duplicated = 0; delayed = 0; reg; obs }
+    duplicated = 0; delayed = 0; tampered = 0; reg; obs }
 
 (* ------------------------------------------------------------------ *)
 (* Per-message-type accounting. Counters live in the registry; the    *)
@@ -78,6 +85,11 @@ let note_delayed (t : t) ~now ~dst msg =
   count t "delayed" msg;
   if now >= 0 then trace_instant t ~prefix:"delay:" ~now ~dst msg
 
+let note_tampered (t : t) ~now ~dst msg =
+  t.tampered <- t.tampered + 1;
+  count t "tampered" msg;
+  if now >= 0 then trace_instant t ~prefix:"byz:" ~now ~dst msg
+
 let sample_inflight t ~now depth =
   Metrics.gauge_max (Metrics.gauge t.reg "netsim.inflight.max") depth;
   match t.obs with
@@ -96,7 +108,7 @@ let split_counter name =
   | [ "netsim"; action; kind ] -> Some (action, kind)
   | _ -> None
 
-let zero_counts = { delivered = 0; dropped = 0; duplicated = 0 }
+let zero_counts = { delivered = 0; dropped = 0; duplicated = 0; tampered = 0 }
 
 let per_type_since t before =
   let tally : (string, type_counts) Hashtbl.t = Hashtbl.create 8 in
@@ -112,6 +124,7 @@ let per_type_since t before =
             | "delivered" -> { cur with delivered = cur.delivered + d }
             | "dropped" -> { cur with dropped = cur.dropped + d }
             | "duplicated" -> { cur with duplicated = cur.duplicated + d }
+            | "tampered" -> { cur with tampered = cur.tampered + d }
             | _ -> cur
           in
           Hashtbl.replace tally kind cur
@@ -180,6 +193,36 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      count as idle — otherwise a lossy run could quiesce out from under
      a protocol that was about to resend. *)
   let active = ref false in
+  (* Byzantine rewriting happens before the gauntlet: a lying node hands
+     the network a per-recipient forgery, which is then dropped/delayed
+     like any honest send. The per-link index [k] is bumped only for
+     targeted sends from scheduled liars, so plans without [byzantine]
+     entries take the fast path with zero extra state. No RNG is drawn:
+     the rewrite is a pure hash of (seed, src, dst, k). *)
+  let byz = plan.Fault_plan.byzantine <> [] in
+  let byz_seq : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let tampering ~src ~dst msg =
+    if not byz then Some msg
+    else
+      match Fault_plan.behaviour_of plan src with
+      | None -> Some msg
+      | Some _ when not (Byzantine.targeted msg) -> Some msg
+      | Some _ ->
+        let k = Option.value ~default:0 (Hashtbl.find_opt byz_seq (src, dst)) in
+        Hashtbl.replace byz_seq (src, dst) (k + 1);
+        note_tampered t ~now:!now ~dst msg;
+        (match Byzantine.tamper plan ~src ~dst ~k msg with
+        | None ->
+          (* Silent-on-protocol: the swallowed send is activity exactly
+             like a gauntlet drop — the sender keeps retrying. *)
+          active := true;
+          None
+        | Some msg' ->
+          (* Words were charged for the honest payload at send time;
+             what actually enters the wire is the forgery. *)
+          t.words <- t.words + Msg.size_words msg' - Msg.size_words msg;
+          Some msg')
+  in
   (* The fault gauntlet for one send: partition, drop, duplicate,
      delay — same checks, same RNG draw order as the reference loop.
      Returns the extra fault delay of each copy actually entering the
@@ -222,20 +265,36 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      run them through the gauntlet as time −1 sends delivered at 0+. *)
   List.iter
     (fun e ->
-      match gauntlet ~src:e.src ~dst:e.dst ~msg:e.msg with
+      match tampering ~src:e.src ~dst:e.dst e.msg with
       | None -> ()
-      | Some extras ->
-        List.iter
-          (fun extra -> push ~time:(sched_delay ~src:e.src ~dst:e.dst - 1 + extra) e)
-          extras)
+      | Some msg -> (
+        match gauntlet ~src:e.src ~dst:e.dst ~msg with
+        | None -> ()
+        | Some extras ->
+          List.iter
+            (fun extra ->
+              push ~time:(sched_delay ~src:e.src ~dst:e.dst - 1 + extra) { e with msg })
+            extras))
     t.initial;
   let ids = sorted_ids t in
   let quiesced = ref false in
   let idle = ref 0 in
   let running = ref (max_rounds > 0) in
+  (* Queue depth is sampled on a fixed virtual-time cadence (every
+     integer time), not just when the loop happens to wake. Between two
+     event times the queue is untouched, so back-filling the skipped
+     ticks with the current pre-pop depth is historically accurate; under
+     the synchronous schedule the loop wakes at every tick anyway and
+     this degenerates to the old once-per-round sample, byte-identical
+     traces included. *)
+  let next_sample = ref 0 in
   while !running do
     active := false;
-    sample_inflight t ~now:!now (Event_queue.length q);
+    let depth = Event_queue.length q in
+    while !next_sample <= !now do
+      sample_inflight t ~now:!next_sample depth;
+      incr next_sample
+    done;
     let due = Event_queue.pop_due q ~now:!now in
     let inboxes = Hashtbl.create 16 in
     List.iter
@@ -270,14 +329,17 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
               if Hashtbl.mem t.nodes dst then begin
                 t.sent <- t.sent + 1;
                 t.words <- t.words + Msg.size_words msg;
-                match gauntlet ~src:id ~dst ~msg with
+                match tampering ~src:id ~dst msg with
                 | None -> ()
-                | Some extras ->
-                  List.iter
-                    (fun extra ->
-                      push ~time:(!now + sched_delay ~src:id ~dst + extra)
-                        { src = id; dst; msg })
-                    extras
+                | Some msg -> (
+                  match gauntlet ~src:id ~dst ~msg with
+                  | None -> ()
+                  | Some extras ->
+                    List.iter
+                      (fun extra ->
+                        push ~time:(!now + sched_delay ~src:id ~dst + extra)
+                          { src = id; dst; msg })
+                      extras)
               end
               else
                 (* Addressed to an unregistered (deleted) node: traceable,
@@ -316,6 +378,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     dropped = t.dropped;
     duplicated = t.duplicated;
     delayed = t.delayed;
+    tampered = t.tampered;
     per_type = per_type_since t before;
   }
 
@@ -341,6 +404,28 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
   let quiesced = ref false in
   let idle = ref 0 in
   let active = ref false in
+  (* Byzantine rewriting, identical to the event engine: pure hash of
+     (seed, src, dst, per-link index), applied before the gauntlet. *)
+  let byz = plan.Fault_plan.byzantine <> [] in
+  let byz_seq : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let tampering ~src ~dst msg =
+    if not byz then Some msg
+    else
+      match Fault_plan.behaviour_of plan src with
+      | None -> Some msg
+      | Some _ when not (Byzantine.targeted msg) -> Some msg
+      | Some _ ->
+        let k = Option.value ~default:0 (Hashtbl.find_opt byz_seq (src, dst)) in
+        Hashtbl.replace byz_seq (src, dst) (k + 1);
+        note_tampered t ~now:!round ~dst msg;
+        (match Byzantine.tamper plan ~src ~dst ~k msg with
+        | None ->
+          active := true;
+          None
+        | Some msg' ->
+          t.words <- t.words + Msg.size_words msg' - Msg.size_words msg;
+          Some msg')
+  in
   let faulted ~src ~dst msg =
     if Fault_plan.severed plan ~round:!round ~src ~dst then begin
       note_dropped ~now:!round t ~dst msg;
@@ -380,9 +465,12 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
     inflight :=
       List.concat_map
         (fun e ->
-          List.map
-            (fun e' -> { e' with deliver_at = e'.deliver_at - 1 })
-            (faulted ~src:e.rsrc ~dst:e.rdst e.rmsg))
+          match tampering ~src:e.rsrc ~dst:e.rdst e.rmsg with
+          | None -> []
+          | Some msg ->
+            List.map
+              (fun e' -> { e' with deliver_at = e'.deliver_at - 1 })
+              (faulted ~src:e.rsrc ~dst:e.rdst msg))
         !inflight;
   while (not !quiesced) && !round < max_rounds do
     active := false;
@@ -424,7 +512,12 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
                     { rsrc = id; rdst = dst; rmsg = msg; deliver_at = !round + 1 }
                     :: !outgoing
                 else
-                  List.iter (fun e -> outgoing := e :: !outgoing) (faulted ~src:id ~dst msg)
+                  match tampering ~src:id ~dst msg with
+                  | None -> ()
+                  | Some msg ->
+                    List.iter
+                      (fun e -> outgoing := e :: !outgoing)
+                      (faulted ~src:id ~dst msg)
               end
               else note_dropped ~now:!round t ~dst msg)
             out
@@ -445,5 +538,6 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
     dropped = t.dropped;
     duplicated = t.duplicated;
     delayed = t.delayed;
+    tampered = t.tampered;
     per_type = per_type_since t before;
   }

@@ -21,10 +21,13 @@
     exhausts [max_rounds] can never be mistaken for a finished one.
 
     Faults ({!Fault_plan}) are injected between send and delivery:
-    drops, duplications, delays, link partitions, and scheduled node
-    crashes. With {!Fault_plan.none} (the default) the delivery
-    schedule, time, and message/word totals are exactly those of the
-    fault-free simulator. *)
+    drops, duplications, delays, link partitions, scheduled node
+    crashes, and Byzantine payload rewriting ({!Byzantine}: scheduled
+    liars hand the network per-recipient forgeries, applied ahead of the
+    probabilistic gauntlet without consuming RNG state). With
+    {!Fault_plan.none} (the default) the delivery schedule, time, and
+    message/word totals are exactly those of the fault-free
+    simulator. *)
 
 type t
 
@@ -41,8 +44,10 @@ type handler = now:int -> inbox:(int * Msg.t) list -> (int * Msg.t) list
 
 val create : ?obs:Xheal_obs.Scope.t -> unit -> t
 (** [obs] (default: none) attaches an observability scope. The
-    simulator then records per-delivery/drop/delay instants and
-    queue-depth samples into the scope's tracer (on per-node tracks, in
+    simulator then records per-delivery/drop/delay/tamper instants and
+    queue-depth samples (one per integer virtual time, back-filled
+    across event-time jumps under asynchronous schedules) into the
+    scope's tracer (on per-node tracks, in
     virtual time — traces from seeded runs replay byte-identically) in
     addition to the per-message-type counters, which always exist: with
     no scope they live in a private registry. [stats.per_type] is read
@@ -56,8 +61,16 @@ val send_initial : t -> src:int -> dst:int -> Msg.t -> unit
 (** Seeds a message delivered at time 0 (counted). Initial messages run
     the same fault gauntlet and schedule as in-run sends. *)
 
-type type_counts = { delivered : int; dropped : int; duplicated : int }
-(** Per-message-type slice of a run's traffic. *)
+type type_counts = {
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  tampered : int;
+}
+(** Per-message-type slice of a run's traffic. [tampered] counts sends
+    rewritten or swallowed in transit by a Byzantine sender
+    ({!Fault_plan.behaviour}); a tampered-then-delivered message counts
+    under both. *)
 
 type stats = {
   rounds : int;
@@ -75,6 +88,13 @@ type stats = {
           addressed to unregistered or crashed nodes. *)
   duplicated : int;  (** Extra copies injected by the duplication fault. *)
   delayed : int;  (** Deliveries pushed at least one time unit late by faults. *)
+  tampered : int;
+      (** Sends rewritten or swallowed in transit by Byzantine senders.
+          The rewrite happens between send and the fault gauntlet, is a
+          pure function of (plan seed, src, dst, per-link send index) —
+          no RNG draw — and never touches honest traffic, so a plan with
+          [byzantine = []] is byte-identical to the pre-Byzantine
+          simulator. *)
   per_type : (string * type_counts) list;
       (** Traffic broken down by {!Msg.kind}, sorted by kind name;
           kinds with no traffic are omitted. Sourced from the obs

@@ -3,7 +3,7 @@ module Op = Xheal_core.Op
 
 let zero =
   { Dist_repair.rounds = 0; messages = 0; words = 0; converged = true; dropped = 0;
-    duplicated = 0; delayed = 0 }
+    duplicated = 0; delayed = 0; tampered = 0 }
 
 let plus a b =
   {
@@ -14,6 +14,7 @@ let plus a b =
     dropped = a.Dist_repair.dropped + b.Dist_repair.dropped;
     duplicated = a.Dist_repair.duplicated + b.Dist_repair.duplicated;
     delayed = a.Dist_repair.delayed + b.Dist_repair.delayed;
+    tampered = a.Dist_repair.tampered + b.Dist_repair.tampered;
   }
 
 let combine_union clouds =
@@ -36,21 +37,23 @@ let combine_union clouds =
   | _ -> ());
   g
 
-let op ~rng ?obs ?plan ?schedule ?max_rounds ~d = function
+let op ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d = function
   | Op.Primary_build { members } ->
-    Dist_repair.primary_build ~rng ?obs ?plan ?schedule ?max_rounds ~d ~neighbors:members
-      ()
+    Dist_repair.primary_build ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d
+      ~neighbors:members ()
   | Op.Secondary_build { bridges } ->
-    Dist_repair.secondary_stitch ~rng ?obs ?plan ?schedule ?max_rounds ~d ~bridges ()
+    Dist_repair.secondary_stitch ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds
+      ~d ~bridges ()
   | Op.Splice _ -> Dist_repair.splice ?obs ~d ()
   | Op.Combine { clouds } -> (
     let union = combine_union clouds in
     match Graph.nodes union with
     | [] -> zero
     | initiator :: _ ->
-      Dist_repair.combine ~rng ?obs ?plan ?schedule ?max_rounds ~d ~union ~initiator ())
+      Dist_repair.combine ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d
+        ~union ~initiator ())
 
-let deletion ~rng ?obs ?plan ?schedule ?max_rounds ~d ops =
+let deletion ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d ops =
   List.fold_left
-    (fun acc o -> plus acc (op ~rng ?obs ?plan ?schedule ?max_rounds ~d o))
+    (fun acc o -> plus acc (op ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d o))
     zero ops

@@ -11,6 +11,8 @@ val op :
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t ->
@@ -29,16 +31,21 @@ val op :
     (default {!Schedule.sync}) picks the delivery model; with a faulty
     plan or an asynchronous schedule the hardened protocol variants run
     and the returned [converged] flag reports whether they all
-    quiesced. [obs] (default: none) threads an observability scope
-    through to {!Dist_repair}: repair-level spans, nested protocol
-    spans, per-message trace events, and [repair.phase.*] counters all
-    land in that scope, laid out sequentially in virtual time. *)
+    quiesced. [backoff] and [defense] are forwarded to the hardened
+    variants (retry pacing and Byzantine counter-measures; both
+    ignored on the fault-free synchronous fast path). [obs] (default:
+    none) threads an observability scope through to {!Dist_repair}:
+    repair-level spans, nested protocol spans, per-message trace
+    events, and [repair.phase.*] counters all land in that scope, laid
+    out sequentially in virtual time. *)
 
 val deletion :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.t ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t list ->

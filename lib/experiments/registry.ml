@@ -13,6 +13,7 @@ let all =
     E11_routing.exp;
     E12_faults.exp;
     E13_async.exp;
+    E14_byzantine.exp;
     A1_secondary.exp;
     A2_rebuild.exp;
     A3_batch.exp;
