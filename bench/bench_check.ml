@@ -45,6 +45,47 @@ let check_overhead = function
     if confirms < 0 || votes < 0 then fail "defense %S has negative counts" defense
   | _ -> fail "byzantine_overhead element is not an object"
 
+(* E15 re-pricing rows. The zero-repair case is the historical footgun:
+   a sweep cell that repaired nothing must report amortized = 0 (the
+   guarded division), never NaN/inf (which would not even have parsed)
+   and never a stale non-zero average. Consistency between [amortized]
+   and [messages / repairs] is checked with the same guard rather than
+   dividing blindly. *)
+let check_e15 = function
+  | J.Obj _ as row ->
+    let policy = get_string "policy" row in
+    if String.length policy = 0 then fail "empty e15 policy name";
+    let loss = get_number "loss" row in
+    let byz = get_number "byz" row in
+    if not (loss >= 0. && loss <= 1.) then fail "e15 loss %f outside [0,1]" loss;
+    if not (byz >= 0. && byz <= 1.) then fail "e15 byz %f outside [0,1]" byz;
+    if get_int "fairness" row < 1 then fail "e15 fairness below 1";
+    let repairs = get_int "repairs" row in
+    let messages = get_int "messages" row in
+    let rounds = get_int "rounds" row in
+    let amortized = get_number "amortized" row in
+    let overhead = get_number "overhead" row in
+    if repairs < 0 || messages < 0 || rounds < 0 then
+      fail "e15 cell (%s) has negative counts" policy;
+    if get_int "escalations" row < 0 then fail "e15 cell (%s) negative escalations" policy;
+    let unconverged = get_int "unconverged" row in
+    if unconverged < 0 || unconverged > repairs then
+      fail "e15 cell (%s) unconverged outside [0, repairs]" policy;
+    if not (Float.is_finite amortized && Float.is_finite overhead) then
+      fail "e15 cell (%s) non-finite average" policy;
+    if repairs = 0 then begin
+      if messages <> 0 then fail "e15 cell (%s) charges messages without repairs" policy;
+      if amortized <> 0. || overhead <> 0. then
+        fail "e15 cell (%s) has a non-zero average over zero repairs" policy
+    end
+    else begin
+      let expect = float_of_int messages /. float_of_int repairs in
+      if Float.abs (amortized -. expect) > 1e-6 *. Float.max 1. expect then
+        fail "e15 cell (%s) amortized %f inconsistent with %d/%d" policy amortized
+          messages repairs
+    end
+  | _ -> fail "e15_repricing element is not an object"
+
 let check_phase = function
   | J.Obj _ as row ->
     let phase = get_string "phase" row in
@@ -82,6 +123,12 @@ let check_file path =
     if rows = [] then fail "byzantine_overhead array is empty";
     List.iter check_overhead rows
   | Some _ -> fail "field \"byzantine_overhead\" is not an array"
+  | None -> ());
+  (match J.member "e15_repricing" json with
+  | Some (J.List rows) ->
+    if rows = [] then fail "e15_repricing array is empty";
+    List.iter check_e15 rows
+  | Some _ -> fail "field \"e15_repricing\" is not an array"
   | None -> ());
   Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall
 

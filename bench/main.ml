@@ -66,6 +66,12 @@ let write_bench ~name ~quick ~wall_ms extra =
   close_out oc;
   Printf.printf "  wrote %s (wall %.1f ms)\n%!" file wall_ms
 
+(* A sweep cell with zero repairs would make naive per-repair averages
+   divide by zero; Cost guards those with an explicit 0-on-empty, and we
+   additionally refuse to emit a non-finite number — "nan" would not
+   even parse back as JSON. *)
+let finite_num x = if Float.is_finite x then Jsonw.Float x else Jsonw.Null
+
 (* [repair.phase.<p>.{messages,rounds,runs}] counters, regrouped as one
    JSON row per phase. *)
 let phase_rows reg =
@@ -119,8 +125,34 @@ let scenario_experiments ~quick =
           ])
       (Xheal_experiments.E14_byzantine.overhead ())
   in
+  (* E15's fault-aware re-pricing sweep: the amortized message bound
+     re-measured under loss x fairness x Byzantine fraction, plus the
+     defense-policy trio rows (static-none / adaptive / static-all). *)
+  let e15_rows =
+    List.map
+      (fun (r : Xheal_experiments.E15_repricing.row) ->
+        Jsonw.Obj
+          [
+            ("loss", Jsonw.Float r.loss);
+            ("fairness", Jsonw.Int r.fairness);
+            ("byz", Jsonw.Float r.byz_frac);
+            ("policy", Jsonw.String r.policy);
+            ("repairs", Jsonw.Int r.repairs);
+            ("messages", Jsonw.Int r.messages);
+            ("rounds", Jsonw.Int r.rounds);
+            ("amortized", finite_num r.amortized);
+            ("overhead", finite_num r.overhead);
+            ("escalations", Jsonw.Int r.escalations);
+            ("unconverged", Jsonw.Int r.unconverged);
+          ])
+      (Xheal_experiments.E15_repricing.rows ())
+  in
   write_bench ~name:"experiments" ~quick ~wall_ms
-    [ ("ok", Jsonw.Bool ok); ("byzantine_overhead", Jsonw.List overhead_rows) ];
+    [
+      ("ok", Jsonw.Bool ok);
+      ("byzantine_overhead", Jsonw.List overhead_rows);
+      ("e15_repricing", Jsonw.List e15_rows);
+    ];
   print_newline ();
   ok
 

@@ -9,6 +9,18 @@ let case_to_string = function
 
 type phase = { label : string; rounds : int; messages : int }
 
+type faults = {
+  converged : bool;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  tampered : int;
+  escalations : int;
+}
+
+let no_faults =
+  { converged = true; dropped = 0; duplicated = 0; delayed = 0; tampered = 0; escalations = 0 }
+
 type report = {
   seq : int;
   case : case;
@@ -19,6 +31,7 @@ type report = {
   edges_added : int;
   edges_removed : int;
   clouds_touched : int;
+  faults : faults;
 }
 
 let empty_report ~seq case =
@@ -32,6 +45,7 @@ let empty_report ~seq case =
     edges_added = 0;
     edges_removed = 0;
     clouds_touched = 0;
+    faults = no_faults;
   }
 
 let add_phase r ~label ~rounds ~messages =
@@ -41,6 +55,78 @@ let add_phase r ~label ~rounds ~messages =
     rounds = r.rounds + rounds;
     messages = r.messages + messages;
   }
+
+type measured = {
+  m_rounds : int;
+  m_messages : int;
+  m_converged : bool;
+  m_dropped : int;
+  m_duplicated : int;
+  m_delayed : int;
+  m_tampered : int;
+  m_escalations : int;
+}
+
+let zero_measured =
+  {
+    m_rounds = 0;
+    m_messages = 0;
+    m_converged = true;
+    m_dropped = 0;
+    m_duplicated = 0;
+    m_delayed = 0;
+    m_tampered = 0;
+    m_escalations = 0;
+  }
+
+let add_measured a b =
+  {
+    m_rounds = a.m_rounds + b.m_rounds;
+    m_messages = a.m_messages + b.m_messages;
+    m_converged = a.m_converged && b.m_converged;
+    m_dropped = a.m_dropped + b.m_dropped;
+    m_duplicated = a.m_duplicated + b.m_duplicated;
+    m_delayed = a.m_delayed + b.m_delayed;
+    m_tampered = a.m_tampered + b.m_tampered;
+    m_escalations = a.m_escalations + b.m_escalations;
+  }
+
+let add_measured_phase r ~label m =
+  let r = add_phase r ~label ~rounds:m.m_rounds ~messages:m.m_messages in
+  {
+    r with
+    faults =
+      {
+        converged = r.faults.converged && m.m_converged;
+        dropped = r.faults.dropped + m.m_dropped;
+        duplicated = r.faults.duplicated + m.m_duplicated;
+        delayed = r.faults.delayed + m.m_delayed;
+        tampered = r.faults.tampered + m.m_tampered;
+        escalations = r.faults.escalations + m.m_escalations;
+      };
+  }
+
+type backend = {
+  run_elect :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    members:int list ->
+    measured * int option;
+  run_build :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    leader:int ->
+    members:int list ->
+    measured;
+  run_combine :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    clouds:(int list * (int * int) list) list ->
+    measured;
+}
 
 type totals = {
   deletions : int;
@@ -52,6 +138,8 @@ type totals = {
   total_edges_added : int;
   total_edges_removed : int;
   black_degree_deleted : int;
+  unconverged : int;
+  escalations : int;
 }
 
 let zero_totals =
@@ -65,6 +153,8 @@ let zero_totals =
     total_edges_added = 0;
     total_edges_removed = 0;
     black_degree_deleted = 0;
+    unconverged = 0;
+    escalations = 0;
   }
 
 let accumulate t r ~black_degree =
@@ -79,6 +169,8 @@ let accumulate t r ~black_degree =
     total_edges_added = t.total_edges_added + r.edges_added;
     total_edges_removed = t.total_edges_removed + r.edges_removed;
     black_degree_deleted = (t.black_degree_deleted + if is_deletion then black_degree else 0);
+    unconverged = (t.unconverged + if r.faults.converged then 0 else 1);
+    escalations = t.escalations + r.faults.escalations;
   }
 
 let amortized_messages t =

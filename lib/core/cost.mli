@@ -15,6 +15,22 @@ val case_to_string : case -> string
 
 type phase = { label : string; rounds : int; messages : int }
 
+(** Fault-side counters of one repair, summed over its measured phases.
+    A closed-form (lossless) repair carries {!no_faults}, so fault-free
+    reports are structurally identical to pre-fault-accounting ones. *)
+type faults = {
+  converged : bool;  (** Every measured phase quiesced in budget. *)
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  tampered : int;  (** Messages rewritten in transit by Byzantine nodes. *)
+  escalations : int;
+      (** Phases re-run with defenses escalated after cross-validation
+          flagged an inconsistency (see [Xheal_distributed.Dist_repair]). *)
+}
+
+val no_faults : faults
+
 type report = {
   seq : int;  (** 1-based index of the deletion in the attack sequence. *)
   case : case;
@@ -25,11 +41,74 @@ type report = {
   edges_added : int;
   edges_removed : int;
   clouds_touched : int;
+  faults : faults;
 }
 
 val empty_report : seq:int -> case -> report
 
 val add_phase : report -> label:string -> rounds:int -> messages:int -> report
+
+(** {1 Measured pricing}
+
+    When the engine is given a fault plan / async schedule, protocol-backed
+    phases are priced by actually running them (via a {!backend}) instead of
+    the closed forms below — retries, duplicates, delays and defense
+    escalations included. *)
+
+(** What one protocol run actually cost, as measured by the simulator. *)
+type measured = {
+  m_rounds : int;
+  m_messages : int;
+  m_converged : bool;
+  m_dropped : int;
+  m_duplicated : int;
+  m_delayed : int;
+  m_tampered : int;
+  m_escalations : int;
+}
+
+val zero_measured : measured
+
+val add_measured : measured -> measured -> measured
+
+val add_measured_phase : report -> label:string -> measured -> report
+(** {!add_phase} with the measured rounds/messages, folding the fault
+    counters into [report.faults]. *)
+
+(** Protocol drivers the engine calls to price phases under a plan. The
+    implementation lives in [Xheal_distributed.Pricing] (the core library
+    cannot depend on the simulator, so the engine takes it as a value).
+    [phase] is a monotone per-engine counter; implementations must derive
+    per-phase fault streams from it ({!Xheal_fault.Fault_plan.reseed}) so
+    runs replay bit-for-bit. Backends must draw randomness only from
+    their own private RNG — never from the engine's — so the healed graph
+    is identical under any plan. *)
+type backend = {
+  run_elect :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    members:int list ->
+    measured * int option;
+      (** Leader election among [members]; also returns the elected id
+          (None when the election failed to converge). *)
+  run_build :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    leader:int ->
+    members:int list ->
+    measured;
+      (** Leader distributes a κ-regular H-graph over [members]. *)
+  run_combine :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    clouds:(int list * (int * int) list) list ->
+    measured;
+      (** BFS/convergecast over the union of the given cloud snapshots
+          ([members, current edges] each), then rebuild. *)
+}
 
 type totals = {
   deletions : int;
@@ -43,6 +122,8 @@ type totals = {
   black_degree_deleted : int;
       (** Sum over deletions of the deleted node's degree in [G'] — the
           denominator of Lemma 5's amortized lower bound [A(p)]. *)
+  unconverged : int;  (** Repairs with at least one unquiesced phase. *)
+  escalations : int;  (** Total defense escalations across repairs. *)
 }
 
 val zero_totals : totals

@@ -1,5 +1,7 @@
 module Graph = Xheal_graph.Graph
 module Edge = Xheal_graph.Edge
+module Fault_plan = Xheal_fault.Fault_plan
+module Schedule = Xheal_fault.Schedule
 
 let log_src = Logs.Src.create "xheal.engine" ~doc:"Xheal repair engine"
 
@@ -12,6 +14,10 @@ type t = {
   reg : Registry.t;
   fwd : (int, int) Hashtbl.t; (* dissolved-by-combine cloud -> successor *)
   obs : Xheal_obs.Scope.t option;
+  plan : Fault_plan.t;
+  sched : Schedule.t;
+  backend : Cost.backend option;
+  mutable pricing_calls : int; (* monotone phase counter for backend reseeds *)
   mutable totals : Cost.totals;
   mutable last : Cost.report option;
   mutable last_ops : Op.t list;
@@ -46,8 +52,15 @@ let find_cloud t id = Registry.find t.reg id
 
 let clouds_of_node t u = Registry.clouds_of t.reg u
 
-let create ?(cfg = Config.default) ?obs ~rng g =
+(* A plan/schedule pair is "faulty" when it can deviate from lossless
+   synchronous delivery — only then does measured pricing engage. *)
+let faulty plan sched = not (Fault_plan.is_none plan && Schedule.is_sync sched)
+
+let create ?(cfg = Config.default) ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+    ?backend ~rng g =
   (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Xheal.create: " ^ e));
+  if faulty plan schedule && backend = None then
+    invalid_arg "Xheal.create: a fault plan or async schedule requires a pricing backend";
   {
     cfg;
     rng;
@@ -55,6 +68,10 @@ let create ?(cfg = Config.default) ?obs ~rng g =
     reg = Registry.create ();
     fwd = Hashtbl.create 16;
     obs;
+    plan;
+    sched = schedule;
+    backend;
+    pricing_calls = 0;
     totals = Cost.zero_totals;
     last = None;
     last_ops = [];
@@ -62,12 +79,70 @@ let create ?(cfg = Config.default) ?obs ~rng g =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Per-repair mutable context: the cost report under construction.    *)
+(* Per-repair mutable context: the cost report under construction,
+   plus the effective plan/schedule this repair is priced under.       *)
 
-type ctx = { mutable report : Cost.report; mutable ops : Op.t list (* reversed *) }
+type ctx = {
+  mutable report : Cost.report;
+  mutable ops : Op.t list; (* reversed *)
+  plan : Fault_plan.t;
+  sched : Schedule.t;
+}
 
 let charge ctx label (rounds, messages) =
   ctx.report <- Cost.add_phase ctx.report ~label ~rounds ~messages
+
+(* ------------------------------------------------------------------ *)
+(* Measured pricing. With a faulty effective plan/schedule and a
+   backend, protocol-backed phases are priced by driving the real
+   protocols under the plan; the closed forms remain for lossless runs
+   (bit-identical to the historical path) and for splice-local
+   operations too small to simulate (join / fix-cloud / find-free /
+   leader-handoff, mirroring [Dist_repair.splice]). The backend owns
+   its randomness, so the healed graph never depends on the plan. *)
+
+let measured_pricing t ctx =
+  match t.backend with Some b when faulty ctx.plan ctx.sched -> Some b | _ -> None
+
+let next_phase t =
+  t.pricing_calls <- t.pricing_calls + 1;
+  t.pricing_calls
+
+let charge_measured ctx label m = ctx.report <- Cost.add_measured_phase ctx.report ~label m
+
+(* Election + H-graph build over one member set: the Case-1 primary
+   rebuild and the secondary-cloud stitch both reduce to this pair. *)
+let charge_elect_build t ctx ~elect_label ~build_label members =
+  let k = List.length members in
+  match measured_pricing t ctx with
+  | None ->
+    charge ctx elect_label (Cost.elect k);
+    charge ctx build_label (Cost.distribute ~kappa:(Config.kappa t.cfg) k)
+  | Some b ->
+    let m_elect, leader =
+      b.Cost.run_elect ~plan:ctx.plan ~schedule:ctx.sched ~phase:(next_phase t) ~members
+    in
+    charge_measured ctx elect_label m_elect;
+    let leader =
+      match (leader, members) with
+      | Some l, _ -> l
+      | None, u :: _ -> u
+      | None, [] -> -1
+    in
+    let m_build =
+      b.Cost.run_build ~plan:ctx.plan ~schedule:ctx.sched ~phase:(next_phase t) ~leader ~members
+    in
+    charge_measured ctx build_label m_build
+
+let charge_combine t ctx ~snapshots ~size =
+  match measured_pricing t ctx with
+  | None -> charge ctx "combine" (Cost.combine ~kappa:(Config.kappa t.cfg) size)
+  | Some b ->
+    let m =
+      b.Cost.run_combine ~plan:ctx.plan ~schedule:ctx.sched ~phase:(next_phase t)
+        ~clouds:snapshots
+    in
+    charge_measured ctx "combine" m
 
 let note_edges ctx ~added ~removed =
   ctx.report <-
@@ -100,6 +175,11 @@ let obs_start_repair t =
   match t.obs with
   | None -> ()
   | Some sc ->
+    (* Two-clock convention: this scope's timeline is the engine's
+       cost-model rounds. A pricing backend or protocol replay sharing
+       it would interleave Netsim virtual time — Tracer.check reports
+       the mix. *)
+    Xheal_obs.Tracer.claim_clock sc.Xheal_obs.Scope.tracer "engine-rounds";
     Xheal_obs.Tracer.set_base sc.Xheal_obs.Scope.tracer t.totals.Cost.total_rounds
 
 let span t ctx name f =
@@ -107,6 +187,7 @@ let span t ctx name f =
   | None -> f ()
   | Some sc ->
     let tr = sc.Xheal_obs.Scope.tracer in
+    Xheal_obs.Tracer.claim_clock tr "engine-rounds";
     Xheal_obs.Tracer.begin_span tr ~track:Xheal_obs.Tracer.control_track ~name
       ~now:ctx.report.Cost.rounds;
     let r = f () in
@@ -245,7 +326,7 @@ let combine_primaries t ctx prims =
       Hashtbl.replace t.fwd (Cloud.id c) (Cloud.id d);
       dissolve t ctx c)
     prims;
-  charge ctx "combine" (Cost.combine ~kappa:(kappa t) (List.length member_list));
+  charge_combine t ctx ~snapshots ~size:(List.length member_list);
   prune_redundant_secondaries t ctx (Cloud.id d);
   d)
 
@@ -284,8 +365,8 @@ let make_secondary t ctx unit_clouds black_nbrs =
         List.iter
           (fun (cid, f) -> Registry.link t.reg ~secondary:(Cloud.id sec) ~bridge:f ~primary:cid)
           assignment;
-        charge ctx "elect-secondary" (Cost.elect (List.length bridges));
-        charge ctx "build-secondary" (Cost.distribute ~kappa:(kappa t) (List.length bridges))
+        charge_elect_build t ctx ~elect_label:"elect-secondary" ~build_label:"build-secondary"
+          bridges
     end
   end
 
@@ -375,10 +456,22 @@ let insert t ~node ~neighbors =
   List.iter
     (fun u -> if Graph.has_node (graph t) u && u <> node then Ownership.add_black t.own node u)
     neighbors;
-  let ctx = { report = Cost.empty_report ~seq:t.seq Cost.Insertion; ops = [] } in
+  let ctx =
+    { report = Cost.empty_report ~seq:t.seq Cost.Insertion; ops = []; plan = t.plan; sched = t.sched }
+  in
   finish t ctx ~black_degree:0
 
-let delete t v =
+(* Effective plan/schedule of one repair call: per-call override, else
+   the engine's ambient ones. A faulty result still requires a backend. *)
+let effective ~who (t : t) plan schedule =
+  let plan = Option.value plan ~default:t.plan in
+  let sched = Option.value schedule ~default:t.sched in
+  if faulty plan sched && t.backend = None then
+    invalid_arg (who ^ ": a fault plan or async schedule requires a pricing backend");
+  (plan, sched)
+
+let delete ?plan ?schedule t v =
+  let plan, sched = effective ~who:"Xheal.delete" t plan schedule in
   if not (Graph.has_node (graph t) v) then invalid_arg "Xheal.delete: node not present";
   t.seq <- t.seq + 1;
   let black_nbrs = Ownership.black_neighbors t.own v in
@@ -395,7 +488,7 @@ let delete t v =
   Log.debug (fun m ->
       m "delete %d: %s, %d black neighbours, %d clouds" v (Cost.case_to_string case) black_deg
         (List.length my_clouds));
-  let ctx = { report = Cost.empty_report ~seq:t.seq case; ops = [] } in
+  let ctx = { report = Cost.empty_report ~seq:t.seq case; ops = []; plan; sched } in
   (* Capture the bridge association before the registry forgets v. *)
   let f_assoc =
     match sec with
@@ -415,8 +508,8 @@ let delete t v =
           | Cost.Insertion | Cost.Batch _ -> assert false
           | Cost.Case1 ->
             if black_deg >= 2 then begin
-              charge ctx "elect-primary" (Cost.elect black_deg);
-              charge ctx "build-primary" (Cost.distribute ~kappa:(kappa t) black_deg);
+              charge_elect_build t ctx ~elect_label:"elect-primary" ~build_label:"build-primary"
+                black_nbrs;
               ignore (make_cloud t ctx Cloud.Primary black_nbrs)
             end
           | Cost.Case21 -> make_secondary t ctx prim black_nbrs
@@ -469,15 +562,23 @@ let resolve_cloud t id =
   in
   go id 0
 
-let delete_many t victims =
+let delete_many ?plan ?schedule t victims =
+  let eff_plan, eff_sched = effective ~who:"Xheal.delete_many" t plan schedule in
   let victims = List.sort_uniq Int.compare victims in
   let victims = List.filter (Graph.has_node (graph t)) victims in
   match victims with
   | [] -> ()
-  | [ v ] -> delete t v
+  | [ v ] -> delete ?plan ?schedule t v
   | _ ->
     t.seq <- t.seq + 1;
-    let ctx = { report = Cost.empty_report ~seq:t.seq (Cost.Batch (List.length victims)); ops = [] } in
+    let ctx =
+      {
+        report = Cost.empty_report ~seq:t.seq (Cost.Batch (List.length victims));
+        ops = [];
+        plan = eff_plan;
+        sched = eff_sched;
+      }
+    in
     obs_start_repair t;
     let total_black =
       span t ctx "xheal:delete-many" (fun () ->
@@ -583,9 +684,8 @@ let delete_many t victims =
         match cloud_units with
         | [] ->
           if List.length orphan_blacks >= 2 then begin
-            charge ctx "elect-primary" (Cost.elect (List.length orphan_blacks));
-            charge ctx "build-primary"
-              (Cost.distribute ~kappa:(kappa t) (List.length orphan_blacks));
+            charge_elect_build t ctx ~elect_label:"elect-primary" ~build_label:"build-primary"
+              orphan_blacks;
             ignore (make_cloud t ctx Cloud.Primary orphan_blacks)
           end
         | _ -> make_secondary t ctx cloud_units orphan_blacks)
@@ -637,7 +737,7 @@ let check t =
     (clouds t);
   match !dead with Some e -> Error e | None -> Ok ()
 
-let factory ?(cfg = Config.default) () =
+let factory ?(cfg = Config.default) ?plan ?schedule ?backend () =
   let label =
     Printf.sprintf "xheal(k=%d%s%s)" (Config.kappa cfg)
       (if cfg.Config.secondary_clouds then "" else ",always-combine")
@@ -647,12 +747,13 @@ let factory ?(cfg = Config.default) () =
     Healer.label;
     make =
       (fun ~rng g ->
-        let t = create ~cfg ~rng g in
+        let t = create ~cfg ?plan ?schedule ?backend ~rng g in
         {
           Healer.name = label;
           graph = (fun () -> graph t);
           insert = (fun ~node ~neighbors -> insert t ~node ~neighbors);
           delete = (fun v -> delete t v);
+          delete_under = (fun ~plan ~schedule v -> delete ~plan ~schedule t v);
           totals = (fun () -> totals t);
           last_report = (fun () -> last_report t);
           check = (fun () -> check t);

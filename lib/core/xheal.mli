@@ -30,20 +30,52 @@
 type t
 
 val create :
-  ?cfg:Config.t -> ?obs:Xheal_obs.Scope.t -> rng:Random.State.t -> Xheal_graph.Graph.t -> t
+  ?cfg:Config.t ->
+  ?obs:Xheal_obs.Scope.t ->
+  ?plan:Xheal_fault.Fault_plan.t ->
+  ?schedule:Xheal_fault.Schedule.t ->
+  ?backend:Cost.backend ->
+  rng:Random.State.t ->
+  Xheal_graph.Graph.t ->
+  t
 (** Engine over a copy of the initial network; all initial edges black.
 
     [obs] (default: none) attaches an observability scope. Every
     deletion then opens a repair-level span ([xheal:delete] /
     [xheal:delete-many]) with [xheal:phase1] (splice-out), [xheal:phase2]
     (stitch), and [xheal:combine] spans nested inside it, timestamped on
-    the cost-model clock (the closed-form round charges, based at
+    the cost-model clock (the round charges accumulated so far, based at
     [totals.total_rounds] so successive repairs lay out sequentially).
     The scope's registry accumulates per-repair histograms
     ([xheal.repair.messages], [xheal.repair.edge_churn]), a combine
     counter ([xheal.combines]), and per-phase-label totals
     ([xheal.phase.<label>.{messages,rounds}]). Observation never touches
-    [rng], so an observed run is replay-identical to a bare one. *)
+    [rng], so an observed run is replay-identical to a bare one. The
+    scope is claimed for the engine's cost-model clock
+    ([Tracer.claim_clock]): sharing it with Netsim-driven code (protocol
+    replay, a pricing backend) trips [Tracer.check] — keep one scope per
+    clock.
+
+    [plan] / [schedule] (defaults: {!Xheal_fault.Fault_plan.none} /
+    {!Xheal_fault.Schedule.sync}) select the delivery model repairs are
+    {e priced} under. With the defaults every phase is charged its
+    Theorem-5 closed form and the engine is bit-identical to the
+    historical lossless path (QCheck-pinned). With any fault knob on (or
+    an async schedule), the protocol-backed phases — elect/build for
+    primary rebuilds and secondary stitches, and combine — are priced by
+    actually driving the distributed protocols through [backend]
+    (typically [Xheal_distributed.Pricing.backend]), so retries,
+    duplicates, delays, crash timeouts and Byzantine defense escalations
+    land in the cost report ([report.faults], [totals.unconverged],
+    [totals.escalations]). Splice-local phases (join, fix-cloud,
+    find-free, leader-handoff) stay closed-form: they are single-splice
+    neighbourhood operations the simulator precedent
+    ([Dist_repair.splice]) also prices analytically. The backend draws
+    randomness only from its own RNG, so the healed graph and the
+    engine's own RNG stream are identical under any plan.
+
+    @raise Invalid_argument if a faulty plan/schedule is given without a
+    [backend]. *)
 
 val cfg : t -> Config.t
 
@@ -56,11 +88,15 @@ val insert : t -> node:int -> neighbors:int list -> unit
 (** Adversarial insertion. Unknown neighbour ids are ignored; inserting
     an existing node raises [Invalid_argument]. *)
 
-val delete : t -> int -> unit
-(** Adversarial deletion plus repair.
-    @raise Invalid_argument if the node is absent. *)
+val delete : ?plan:Xheal_fault.Fault_plan.t -> ?schedule:Xheal_fault.Schedule.t -> t -> int -> unit
+(** Adversarial deletion plus repair. [plan] / [schedule] override the
+    engine's ambient delivery model for this one repair (see {!create});
+    omitted, the ambient ones apply.
+    @raise Invalid_argument if the node is absent, or if the effective
+    plan/schedule is faulty and the engine has no pricing backend. *)
 
-val delete_many : t -> int list -> unit
+val delete_many :
+  ?plan:Xheal_fault.Fault_plan.t -> ?schedule:Xheal_fault.Schedule.t -> t -> int list -> unit
 (** The paper's multi-deletion extension (Section 1): the adversary
     removes a whole set of nodes in one timestep; the repair runs once
     per {e damage region} instead of once per node. All victims are
@@ -113,6 +149,15 @@ val check : t -> (unit, string) result
     invariants, per-cloud structure, and that every cloud's desired edge
     set is live and owned. *)
 
-val factory : ?cfg:Config.t -> unit -> Healer.factory
+val factory :
+  ?cfg:Config.t ->
+  ?plan:Xheal_fault.Fault_plan.t ->
+  ?schedule:Xheal_fault.Schedule.t ->
+  ?backend:Cost.backend ->
+  unit ->
+  Healer.factory
 (** Packages the engine behind the {!Healer} interface for the drivers.
-    The label reflects κ and ablation flags. *)
+    The label reflects κ and ablation flags. [plan] / [schedule] /
+    [backend] thread the fault-aware pricing of {!create} through to
+    every engine the factory makes, so driver-level sweeps (and E15)
+    price repairs under faults without touching the driver API. *)

@@ -19,6 +19,17 @@ let is_none t =
   (not t.victory_echo) && (not t.rank_commit) && (not t.subtree_quorum)
   && not t.edge_mutual
 
+type policy = Static of t | Adaptive of { relaxed : t; escalated : t }
+
+let static d = Static d
+
+let adaptive ?relaxed ?escalated () =
+  Adaptive
+    {
+      relaxed = (match relaxed with Some d -> d | None -> none);
+      escalated = (match escalated with Some d -> d | None -> all);
+    }
+
 let pp ppf t =
   if is_none t then Format.fprintf ppf "defense(none)"
   else
@@ -32,3 +43,8 @@ let pp ppf t =
               (t.subtree_quorum, "subtree-quorum");
               (t.edge_mutual, "edge-mutual");
             ]))
+
+let pp_policy ppf = function
+  | Static d -> Format.fprintf ppf "static[%a]" pp d
+  | Adaptive { relaxed; escalated } ->
+    Format.fprintf ppf "adaptive[%a -> %a]" pp relaxed pp escalated

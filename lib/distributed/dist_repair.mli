@@ -34,9 +34,14 @@ type stats = {
   duplicated : int;
   delayed : int;
   tampered : int;  (** Sends rewritten/swallowed by Byzantine senders. *)
+  escalations : int;
+      (** Phases re-run with defenses escalated under
+          [Defense.Adaptive]; always [0] under [Static]. *)
 }
 
 val add : stats -> Netsim.stats -> stats
+(** Folds one simulator run into the accumulator; [escalations] is
+    untouched (it counts decisions, not runs). *)
 
 val primary_build :
   rng:Random.State.t ->
@@ -44,7 +49,7 @@ val primary_build :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
-  ?defense:Defense.t ->
+  ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
   neighbors:int list ->
@@ -56,8 +61,12 @@ val primary_build :
     [backoff] and [defense] apply to every hardened phase (they are
     ignored on the fault-free synchronous fast path, which runs the
     classic protocols): [backoff] replaces the fixed retry cadence,
-    [defense] toggles the Byzantine counter-measures of each phase
-    protocol. *)
+    [defense] (default [Defense.Static Defense.none], bit-identical to
+    the historical no-defense behaviour) chooses the defense policy.
+    Under {!Defense.Adaptive} each phase runs relaxed first and is
+    re-run escalated only when its outcome cross-validates as
+    inconsistent (see {!Defense.policy}); both runs are charged and
+    [stats.escalations] counts the re-runs. *)
 
 val secondary_stitch :
   rng:Random.State.t ->
@@ -65,7 +74,7 @@ val secondary_stitch :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
-  ?defense:Defense.t ->
+  ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
   bridges:int list ->
@@ -79,7 +88,7 @@ val combine :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
-  ?defense:Defense.t ->
+  ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
   union:Xheal_graph.Graph.t ->
@@ -89,6 +98,40 @@ val combine :
 (** The expensive path: BFS-echo over the union of the clouds being
     merged gathers every address at the initiator, which then builds and
     distributes one big cloud. *)
+
+val elect :
+  rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
+  ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.policy ->
+  ?max_rounds:int ->
+  members:int list ->
+  unit ->
+  stats * int option
+(** The election phase alone, as one operation (span
+    [repair:elect]) — the engine's pricing backend ({!Pricing}) charges
+    election and build as separate cost phases. Returns the elected
+    leader ([None] on an empty member list or an unconverged hardened
+    run). Fault/delay streams and defense handling match the election
+    phase inside {!primary_build}. *)
+
+val build :
+  rng:Random.State.t ->
+  ?obs:Xheal_obs.Scope.t ->
+  ?plan:Fault_plan.t ->
+  ?schedule:Schedule.t ->
+  ?backoff:Backoff.t ->
+  ?defense:Defense.policy ->
+  ?max_rounds:int ->
+  d:int ->
+  leader:int ->
+  members:int list ->
+  unit ->
+  stats
+(** The cloud-build phase alone (span [repair:build]); [leader] must be
+    a member. Counterpart of the build phase inside {!primary_build}. *)
 
 val splice : ?obs:Xheal_obs.Scope.t -> d:int -> unit -> stats
 (** Modeled constant cost of one H-graph INSERT/DELETE splice (2κ

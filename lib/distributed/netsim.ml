@@ -63,6 +63,7 @@ let count t action msg =
 let trace_instant t ~prefix ~now ~dst msg =
   match t.obs with
   | Some sc ->
+    Tracer.claim_clock sc.Obs.Scope.tracer "net-virtual";
     Tracer.instant sc.Obs.Scope.tracer ~track:dst ~name:(prefix ^ Msg.kind msg) ~now
   | None -> ()
 
@@ -94,6 +95,7 @@ let sample_inflight t ~now depth =
   Metrics.gauge_max (Metrics.gauge t.reg "netsim.inflight.max") depth;
   match t.obs with
   | Some sc ->
+    Tracer.claim_clock sc.Obs.Scope.tracer "net-virtual";
     Tracer.sample sc.Obs.Scope.tracer ~track:Tracer.control_track ~name:"inflight" ~now
       ~value:depth
   | None -> ()

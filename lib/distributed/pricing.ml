@@ -1,0 +1,66 @@
+module Cost = Xheal_core.Cost
+
+let measured_of (s : Dist_repair.stats) =
+  {
+    Cost.m_rounds = s.Dist_repair.rounds;
+    m_messages = s.Dist_repair.messages;
+    m_converged = s.Dist_repair.converged;
+    m_dropped = s.Dist_repair.dropped;
+    m_duplicated = s.Dist_repair.duplicated;
+    m_delayed = s.Dist_repair.delayed;
+    m_tampered = s.Dist_repair.tampered;
+    m_escalations = s.Dist_repair.escalations;
+  }
+
+(* Each engine phase gets fault/delay streams derived from the engine's
+   monotone phase counter, on top of the per-protocol-phase reseed
+   [Dist_repair] applies internally — so two engine phases never replay
+   the same loss pattern, and a fixed (plan, schedule, seed) triple
+   replays bit-for-bit. *)
+let phase_view ~phase plan schedule =
+  (Fault_plan.reseed plan phase, Schedule.reseed schedule phase)
+
+let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?(max_rounds = 10_000)
+    ?(seed = 0) ~d () =
+  (* The backend's private RNG: protocol-internal draws (election ranks,
+     H-graph samples) never touch the engine's RNG, so the healed graph
+     is identical under any plan. *)
+  let rng = Random.State.make [| 0x9e3779b9; seed |] in
+  let run_elect ~plan ~schedule ~phase ~members =
+    match members with
+    | [] | [ _ ] -> (Cost.zero_measured, List.nth_opt members 0)
+    | _ ->
+      let plan, schedule = phase_view ~phase plan schedule in
+      let members = List.sort_uniq Int.compare members in
+      let s, leader =
+        Dist_repair.elect ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~members
+          ()
+      in
+      (measured_of s, leader)
+  in
+  let run_build ~plan ~schedule ~phase ~leader ~members =
+    if List.length members <= 1 then Cost.zero_measured
+    else begin
+      let plan, schedule = phase_view ~phase plan schedule in
+      let members = List.sort_uniq Int.compare members in
+      let leader = if List.mem leader members then leader else List.hd members in
+      let s =
+        Dist_repair.build ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~d
+          ~leader ~members ()
+      in
+      measured_of s
+    end
+  in
+  let run_combine ~plan ~schedule ~phase ~clouds =
+    let plan, schedule = phase_view ~phase plan schedule in
+    let union = Replay.combine_union clouds in
+    match Xheal_graph.Graph.nodes union with
+    | [] | [ _ ] -> Cost.zero_measured
+    | initiator :: _ ->
+      let s =
+        Dist_repair.combine ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~d
+          ~union ~initiator ()
+      in
+      measured_of s
+  in
+  { Cost.run_elect; run_build; run_combine }

@@ -1,0 +1,40 @@
+(** The engine-side pricing backend: implements
+    {!Xheal_core.Cost.backend} by driving the {!Dist_repair} protocols
+    on the simulator, so [Xheal.delete] under a fault plan / async
+    schedule charges what the protocols actually cost — retries,
+    duplicates, delays, crash timeouts and (under an adaptive policy)
+    defense escalations included — instead of the lossless closed
+    forms. This is the piece that fixes the engine's lossless-pricing
+    bug: [Cost.elect]/[distribute]/[combine] assume perfect synchronous
+    delivery, which E7's amortized bound silently inherited the moment
+    a plan had any fault knob on.
+
+    Determinism: the backend owns a private RNG seeded from [seed];
+    per-engine-phase fault and delay streams are derived from the
+    engine's monotone phase counter via [Fault_plan.reseed] /
+    [Schedule.reseed]. A fixed (plan, schedule, seed, attack) tuple
+    therefore replays bit-for-bit, and the engine's own RNG is never
+    touched — the healed graph is identical under any plan. *)
+
+val backend :
+  ?obs:Xheal_obs.Scope.t ->
+  ?defense:Defense.policy ->
+  ?backoff:Backoff.t ->
+  ?max_rounds:int ->
+  ?seed:int ->
+  d:int ->
+  unit ->
+  Xheal_core.Cost.backend
+(** [backend ~d ()] with defaults: no observability, defense policy
+    [Static Defense.none], default retry pacing, [max_rounds = 10_000],
+    [seed = 0]. [d] is the engine's H-graph degree parameter
+    ([Config.d], κ = 2d).
+
+    [obs] must be a {e different} scope from the engine's: protocol
+    spans land on Netsim virtual time ("net-virtual" clock), the
+    engine's on cost-model rounds ("engine-rounds") — sharing one scope
+    trips [Tracer.check] (the two-clock convention).
+
+    [defense = Defense.adaptive ()] gives the escalate-on-inconsistency
+    behaviour E15 prices: fault-free phases run undefended and only
+    loud phases are re-run hardened. *)

@@ -7,6 +7,7 @@ let with_span obs name run =
   | None -> run ()
   | Some sc ->
     let tr = sc.Scope.tracer in
+    Tracer.claim_clock tr "net-virtual";
     Tracer.begin_span tr ~track:Tracer.control_track ~name ~now:0;
     let ((stats : Netsim.stats), _) as result = run () in
     Tracer.end_span tr ~track:Tracer.control_track ~now:stats.Netsim.rounds;
@@ -15,7 +16,9 @@ let with_span obs name run =
 let instant obs ~track ~name ~now =
   match obs with
   | None -> ()
-  | Some sc -> Tracer.instant sc.Scope.tracer ~track ~name ~now
+  | Some sc ->
+    Tracer.claim_clock sc.Scope.tracer "net-virtual";
+    Tracer.instant sc.Scope.tracer ~track ~name ~now
 
 let phase_counters obs phase ~messages ~rounds =
   match obs with
@@ -32,4 +35,5 @@ let advance_base obs rounds =
   | None -> ()
   | Some sc ->
     let tr = sc.Scope.tracer in
+    Tracer.claim_clock tr "net-virtual";
     Tracer.set_base tr (Tracer.base tr + rounds)

@@ -3,7 +3,7 @@ module Op = Xheal_core.Op
 
 let zero =
   { Dist_repair.rounds = 0; messages = 0; words = 0; converged = true; dropped = 0;
-    duplicated = 0; delayed = 0; tampered = 0 }
+    duplicated = 0; delayed = 0; tampered = 0; escalations = 0 }
 
 let plus a b =
   {
@@ -15,6 +15,7 @@ let plus a b =
     duplicated = a.Dist_repair.duplicated + b.Dist_repair.duplicated;
     delayed = a.Dist_repair.delayed + b.Dist_repair.delayed;
     tampered = a.Dist_repair.tampered + b.Dist_repair.tampered;
+    escalations = a.Dist_repair.escalations + b.Dist_repair.escalations;
   }
 
 let combine_union clouds =

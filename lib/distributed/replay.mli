@@ -6,13 +6,19 @@
     uses it to measure real deletions end to end, and E12 replays them
     under fault injection. *)
 
+val combine_union : (int list * (int * int) list) list -> Xheal_graph.Graph.t
+(** The graph a [Combine] runs its BFS-echo over: the absorbed clouds'
+    members and current edges, bridged through their first members (the
+    deleted node's ex-neighbourhood, which the paper notes stays
+    mutually reachable during repair). Shared with {!Pricing}. *)
+
 val op :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
-  ?defense:Defense.t ->
+  ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t ->
@@ -45,7 +51,7 @@ val deletion :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
-  ?defense:Defense.t ->
+  ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
   Xheal_core.Op.t list ->

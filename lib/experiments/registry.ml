@@ -14,6 +14,7 @@ let all =
     E12_faults.exp;
     E13_async.exp;
     E14_byzantine.exp;
+    E15_repricing.exp;
     A1_secondary.exp;
     A2_rebuild.exp;
     A3_batch.exp;

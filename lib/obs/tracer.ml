@@ -10,12 +10,20 @@ type t = {
   mutable open_count : int;
   stacks : (int, open_span list) Hashtbl.t;
   mutable names : (int * string) list;
+  mutable clocks : string list; (* claimed time bases, first-claimed first *)
 }
 
 let control_track = -1
 
 let create () =
-  { events = []; offset = 0; open_count = 0; stacks = Hashtbl.create 8; names = [] }
+  {
+    events = [];
+    offset = 0;
+    open_count = 0;
+    stacks = Hashtbl.create 8;
+    names = [];
+    clocks = [];
+  }
 
 let set_base t base = t.offset <- base
 
@@ -55,8 +63,20 @@ let sample t ~track ~name ~now ~value =
 
 let open_spans t = t.open_count
 
+let claim_clock t name =
+  if not (List.mem name t.clocks) then t.clocks <- t.clocks @ [ name ]
+
+let clocks t = t.clocks
+
 let check t =
-  if t.open_count = 0 then Ok ()
-  else Error (Printf.sprintf "Tracer: %d span(s) still open at export" t.open_count)
+  if t.open_count <> 0 then
+    Error (Printf.sprintf "Tracer: %d span(s) still open at export" t.open_count)
+  else
+    match t.clocks with
+    | [] | [ _ ] -> Ok ()
+    | cs ->
+      Error
+        (Printf.sprintf "Tracer: events from %d clocks mixed on one timeline (%s)"
+           (List.length cs) (String.concat ", " cs))
 
 let events t = List.rev t.events

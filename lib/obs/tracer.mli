@@ -61,9 +61,20 @@ val sample : t -> track:int -> name:string -> now:int -> value:int -> unit
 val open_spans : t -> int
 (** Spans begun but not yet ended, across all tracks. *)
 
+val claim_clock : t -> string -> unit
+(** Declare the time base the caller's [~now] values are on (the repo's
+    two-clock convention: the engine records on ["engine-rounds"], the
+    cost-model round charges; protocol code on ["net-virtual"], Netsim
+    virtual time). Idempotent per name. A tracer claimed for two
+    different clocks has an unreadable timeline — {!check} reports it. *)
+
+val clocks : t -> string list
+(** Clocks claimed so far, first-claimed first. *)
+
 val check : t -> (unit, string) result
 (** [Error] when any span is still open — an export at this point would
-    silently lose it. *)
+    silently lose it — or when more than one clock has been claimed
+    (mixed-clock timeline). *)
 
 val events : t -> event list
 (** Completed events in recording order (spans appear at completion). *)

@@ -358,6 +358,58 @@ let failstop_degenerate =
       let tb, sb, rb = run armed in
       ta = tb && ra = rb && sa = sb && sa.Netsim.tampered = 0)
 
+(* ------------------------------------------------------------------ *)
+(* The plan-threaded engine (PR 6): a crash-only plan driven through
+   Xheal.delete's measured pricing must replay byte-identically run to
+   run — reports, fault counters, totals and healed graph — and arming
+   the Byzantine path with an entry for a node that never participates
+   must change nothing (the engine-level extension of the fail-stop
+   degeneracy above). *)
+
+module Xheal = Xheal_core.Xheal
+module Cost = Xheal_core.Cost
+module Pricing = Xheal_distributed.Pricing
+
+let engine_sig plan =
+  let g0 = Gen.random_regular ~rng:(rng 61) 24 4 in
+  let backend = Pricing.backend ~defense:(Defense.adaptive ()) ~seed:7 ~d:2 () in
+  let eng =
+    Xheal.create ~plan ~schedule:(Schedule.async ~seed:62 ~fairness:3) ~backend
+      ~rng:(rng 63) g0
+  in
+  let atk = rng 64 in
+  let reports = ref [] in
+  for _ = 1 to 8 do
+    let nodes = Graph.nodes (Xheal.graph eng) in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal.delete eng v;
+    reports := Xheal.last_report eng :: !reports
+  done;
+  let g = Xheal.graph eng in
+  ( List.rev !reports,
+    Xheal.totals eng,
+    List.sort Int.compare (Graph.nodes g),
+    List.sort Xheal_graph.Edge.compare (Graph.edges g) )
+
+let crash_plan ~armed seed =
+  let byzantine = if armed then [ (999_999, Fault_plan.Equivocate) ] else [] in
+  Fault_plan.make ~seed ~drop:0.06 ~crashes:[ (5, 4); (11, 9) ] ~byzantine ()
+
+let test_engine_crash_only_replay () =
+  let a = engine_sig (crash_plan ~armed:false 417) in
+  let b = engine_sig (crash_plan ~armed:false 417) in
+  Alcotest.(check bool) "two runs byte-identical" true (a = b);
+  let armed = engine_sig (crash_plan ~armed:true 417) in
+  Alcotest.(check bool) "inert byzantine entry changes nothing" true (a = armed);
+  let reports, totals, _, _ = a in
+  Alcotest.(check bool) "measured pricing actually engaged" true
+    (totals.Cost.total_messages > 0
+    && List.exists
+         (function
+           | Some r -> r.Cost.faults.Cost.dropped > 0 || r.Cost.faults.Cost.delayed > 0
+           | None -> false)
+         reports)
+
 let suite =
   [
     ( "byzantine",
@@ -389,5 +441,7 @@ let suite =
           test_byz_transcript_replay;
         QCheck_alcotest.to_alcotest byz_conformance;
         QCheck_alcotest.to_alcotest failstop_degenerate;
+        Alcotest.test_case "engine: crash-only plan replays byte-identically" `Quick
+          test_engine_crash_only_replay;
       ] );
   ]
