@@ -86,6 +86,53 @@ let check_e15 = function
     end
   | _ -> fail "e15_repricing element is not an object"
 
+(* Scaling-tier rows. Each cell must carry its schema tag, a nonzero
+   amount of actual repair work, and a wall time inside its declared
+   budget — the budget is the scaling tier's regression tripwire.
+   Returns the cell's [n] so the caller can check rows stay strictly
+   monotone (a shuffled or duplicated sweep is a harness bug). *)
+let check_scaling prev_n = function
+  | J.Obj _ as row ->
+    (match get_string "tier" row with
+    | "scaling/1" -> ()
+    | tier -> fail "unknown scaling tier %S" tier);
+    let n = get_int "n" row in
+    if n <= prev_n then fail "scaling rows not strictly increasing in n (%d after %d)" n prev_n;
+    let deletions = get_int "deletions" row in
+    let repairs = get_int "repairs" row in
+    if deletions <= 0 then fail "scaling cell n=%d ran no deletions" n;
+    if repairs <= 0 then fail "scaling cell n=%d repaired nothing" n;
+    if repairs > deletions then
+      fail "scaling cell n=%d reports %d repairs for %d deletions" n repairs deletions;
+    let wall = get_number "wall_ms" row in
+    let budget = get_number "budget_ms" row in
+    if not (wall >= 0.) then fail "scaling cell n=%d wall_ms %f invalid" n wall;
+    if not (budget > 0.) then fail "scaling cell n=%d budget_ms %f invalid" n budget;
+    if wall > budget then
+      fail "scaling cell n=%d blew its budget (%.1f ms > %.1f ms)" n wall budget;
+    if get_int "messages" row <= 0 then fail "scaling cell n=%d carried no messages" n;
+    if get_int "rounds" row < 0 then fail "scaling cell n=%d negative rounds" n;
+    if get_int "edges_added" row < 0 || get_int "edges_removed" row < 0 then
+      fail "scaling cell n=%d negative edge churn" n;
+    (match get "spans" row with
+    | J.List spans ->
+      if spans = [] then fail "scaling cell n=%d has no aggregated spans" n;
+      List.iter
+        (fun s ->
+          let name = get_string "name" s in
+          if String.length name = 0 then fail "scaling cell n=%d has an unnamed span" n;
+          let count = get_int "count" s in
+          let total = get_int "total" s in
+          let self = get_int "self" s in
+          if count <= 0 then fail "scaling span %S has no occurrences" name;
+          if total < 0 || self < 0 || self > total then
+            fail "scaling span %S has inconsistent totals (self %d, total %d)" name self
+              total)
+        spans
+    | _ -> fail "scaling cell n=%d field \"spans\" is not an array" n);
+    n
+  | _ -> fail "scaling element is not an object"
+
 let check_phase = function
   | J.Obj _ as row ->
     let phase = get_string "phase" row in
@@ -117,6 +164,12 @@ let check_file path =
     let total = List.fold_left (fun acc row -> acc + check_phase row) 0 rows in
     if total <= 0 then fail "phases carry no messages"
   | Some _ -> fail "field \"phases\" is not an array"
+  | None -> ());
+  (match J.member "scaling" json with
+  | Some (J.List rows) ->
+    if rows = [] then fail "scaling array is empty";
+    ignore (List.fold_left check_scaling min_int rows)
+  | Some _ -> fail "field \"scaling\" is not an array"
   | None -> ());
   (match J.member "byzantine_overhead" json with
   | Some (J.List rows) ->

@@ -16,8 +16,15 @@
      repairs, the eigensolvers used by the metrics, and the distributed
      protocols.
 
+   The repair scenario also runs the scaling tier: the engine at
+   n = 10^4 (and 10^5 in full mode; --huge adds a 10^6-node smoke
+   cell) under seeded random deletions, each cell emitted as a
+   "scaling" row — cost totals, a wall-clock budget, and the
+   flamegraph-style span aggregate (Tracer.aggregate).
+
    Run with: dune exec bench/main.exe
    (--quick for reduced sizes, --skip-micro to omit the micro scenario,
+   --huge to add the million-node scaling cell,
    --only <experiments|repair|micro> to run a single scenario — the
    @bench-smoke alias uses `--quick --only repair`.)
 
@@ -36,7 +43,9 @@ module Dist_repair = Xheal_distributed.Dist_repair
 module Replay = Xheal_distributed.Replay
 module Scope = Xheal_obs.Scope
 module Metrics = Xheal_obs.Metrics
+module Tracer = Xheal_obs.Tracer
 module Jsonw = Xheal_obs.Jsonw
+module Cost = Xheal_core.Cost
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_<name>.json output.                                          *)
@@ -157,9 +166,81 @@ let scenario_experiments ~quick =
   ok
 
 (* ------------------------------------------------------------------ *)
+(* Scaling tier: the engine at 10^4–10^6 nodes.                       *)
+
+(* Per-cell wall-clock ceiling, generous enough to never flake on a
+   loaded machine but tight enough that a super-linear regression in
+   the repair path (the CSR graph core's whole reason to exist) blows
+   through it. bench_check enforces wall_ms <= budget_ms per row. The
+   small full-mode cell deletes its entire graph — the endgame repairs
+   on a fully-healed remnant dominate, hence its larger allowance. *)
+let scaling_budget_ms n =
+  if n >= 1_000_000 then 600_000. else if n > 20_000 then 300_000. else 180_000.
+
+(* One scaling cell: seed a degree-2 H-graph backbone of [n] nodes
+   (O(n) construction, connected), run [deletions] seeded random
+   deletions through the observed engine, and report the cost totals
+   plus the flamegraph-style span aggregate. Victims come from a
+   swap-remove alive array — O(1) per pick, no per-deletion
+   [Graph.nodes] materialization. *)
+let scaling_cell ~n ~deletions =
+  let obs = Scope.create () in
+  let rng = Random.State.make [| 1009; n |] in
+  let eng = Xheal.create ~obs ~rng (Gen.random_h_graph ~rng n 2) in
+  let atk = Random.State.make [| 1013; n |] in
+  let alive = Array.init n Fun.id in
+  let live = ref n in
+  let (), wall_ms =
+    timed (fun () ->
+        for _ = 1 to deletions do
+          let i = Random.State.int atk !live in
+          let v = alive.(i) in
+          alive.(i) <- alive.(!live - 1);
+          decr live;
+          Xheal.delete eng v
+        done)
+  in
+  let tot = Xheal.totals eng in
+  let spans =
+    List.map
+      (fun (a : Tracer.agg) ->
+        Jsonw.Obj
+          [
+            ("name", Jsonw.String a.Tracer.agg_name);
+            ("count", Jsonw.Int a.Tracer.count);
+            ("total", Jsonw.Int a.Tracer.total);
+            ("self", Jsonw.Int a.Tracer.self);
+          ])
+      (Tracer.aggregate obs.Scope.tracer)
+  in
+  Printf.printf "  scaling n=%-8d deletions=%-6d wall=%9.1f ms messages=%d\n%!" n
+    deletions wall_ms tot.Cost.total_messages;
+  Jsonw.Obj
+    [
+      ("tier", Jsonw.String "scaling/1");
+      ("n", Jsonw.Int n);
+      ("deletions", Jsonw.Int deletions);
+      ("repairs", Jsonw.Int tot.Cost.deletions);
+      ("wall_ms", Jsonw.Float wall_ms);
+      ("budget_ms", Jsonw.Float (scaling_budget_ms n));
+      ("messages", Jsonw.Int tot.Cost.total_messages);
+      ("rounds", Jsonw.Int tot.Cost.total_rounds);
+      ("edges_added", Jsonw.Int tot.Cost.total_edges_added);
+      ("edges_removed", Jsonw.Int tot.Cost.total_edges_removed);
+      ("spans", Jsonw.List spans);
+    ]
+
+let scaling_rows ~quick ~huge =
+  let cells =
+    if quick then [ (10_000, 300) ] else [ (10_000, 10_000); (100_000, 10_000) ]
+  in
+  let cells = if huge then cells @ [ (1_000_000, 1_000) ] else cells in
+  List.map (fun (n, deletions) -> scaling_cell ~n ~deletions) cells
+
+(* ------------------------------------------------------------------ *)
 (* Scenario: observed end-to-end repair.                              *)
 
-let scenario_repair ~quick =
+let scenario_repair ~quick ~huge =
   print_endline "=====================================================";
   print_endline " Observed repair scenario (engine + protocol replay)";
   print_endline "=====================================================";
@@ -192,12 +273,14 @@ let scenario_repair ~quick =
   in
   Printf.printf " n=%d deletions=%d replayed messages=%d converged=%b\n" n deletions
     total converged;
+  let scaling = scaling_rows ~quick ~huge in
   write_bench ~name:"repair" ~quick ~wall_ms
     [
       ("n", Jsonw.Int n);
       ("deletions", Jsonw.Int deletions);
       ("replayed_messages", Jsonw.Int total);
       ("converged", Jsonw.Bool converged);
+      ("scaling", Jsonw.List scaling);
       ("phases", Jsonw.List (phase_rows net_obs.Scope.metrics));
       ( "metrics",
         Jsonw.Obj
@@ -379,6 +462,7 @@ let scenario_micro ~quick =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
+  let huge = List.mem "--huge" args in
   let skip_micro = List.mem "--skip-micro" args in
   let rec find_only = function
     | "--only" :: v :: _ -> Some v
@@ -393,6 +477,6 @@ let () =
     exit 2);
   let selected name = match only with None -> true | Some o -> String.equal o name in
   let ok = if selected "experiments" then scenario_experiments ~quick else true in
-  if selected "repair" then scenario_repair ~quick;
+  if selected "repair" then scenario_repair ~quick ~huge;
   if selected "micro" && not skip_micro then scenario_micro ~quick;
   if not ok then exit 1

@@ -213,7 +213,10 @@ let trace_cmd =
   let metrics_out =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Also dump the flat metrics registry as JSON.")
   in
-  let run verbose shape steps seed drop fairness out metrics_out =
+  let aggregate =
+    Arg.(value & flag & info [ "aggregate" ] ~doc:"Print a flamegraph-style per-span summary (count, total, self) on stdout.")
+  in
+  let run verbose shape steps seed drop fairness out metrics_out aggregate =
     setup_logs verbose;
     let rng = Random.State.make [| seed |] in
     let initial = build_shape ~rng shape in
@@ -255,6 +258,15 @@ let trace_cmd =
           output_string oc (Scope.metrics_string obs);
           close_out oc)
         metrics_out;
+      if aggregate then begin
+        let aggs = Xheal_obs.Tracer.aggregate obs.Scope.tracer in
+        Format.printf "%-28s %8s %10s %10s@." "span" "count" "total" "self";
+        List.iter
+          (fun a ->
+            Format.printf "%-28s %8d %10d %10d@." a.Xheal_obs.Tracer.agg_name
+              a.Xheal_obs.Tracer.count a.Xheal_obs.Tracer.total a.Xheal_obs.Tracer.self)
+          aggs
+      end;
       Format.printf "traced %d deletions: %d replayed messages, converged %b@." !deleted
         !messages !converged;
       Format.printf "wrote %s%s@." out
@@ -267,7 +279,7 @@ let trace_cmd =
     Term.(
       ret
         (const run $ verbose_flag $ shape $ steps $ seed $ drop $ fairness $ out
-       $ metrics_out))
+       $ metrics_out $ aggregate))
 
 (* ---------- list command ---------- *)
 

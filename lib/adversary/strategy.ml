@@ -61,14 +61,17 @@ let bottleneck_delete ?(min_nodes = 4) ~rng () =
               (fun v acc -> if Hashtbl.mem inside v <> Hashtbl.mem inside u then acc + 1 else acc)
               0
           in
+          (* Sorted fold with a ties-to-smaller-id break: the winner must
+             be canonical (identical across graph backends), not a
+             fold-order accident. *)
           let best =
-            Graph.fold_nodes
-              (fun u acc ->
+            List.fold_left
+              (fun acc u ->
                 let c = crossing u in
                 match acc with
                 | Some (_, cb) when cb >= c -> acc
                 | _ -> if c > 0 then Some (u, c) else acc)
-              g None
+              None (Graph.nodes g)
           in
           (match best with
           | Some (u, _) -> Some u

@@ -91,7 +91,12 @@ let check t =
   match !err with None -> Ok () | Some m -> Error m
 
 let of_black_graph g =
-  let t = create () in
+  (* The live network inherits the black graph's backend, so an engine
+     seeded with a hash-backend graph stays on it end to end (the
+     representation-independence property tests rely on this). *)
+  let t =
+    { net = Graph.create_like ~capacity:(Graph.num_nodes g) g; table = Edge.Table.create 64 }
+  in
   Graph.iter_nodes (fun u -> add_node t u) g;
   Graph.iter_edges (fun e -> add_black t (Edge.src e) (Edge.dst e)) g;
   t

@@ -226,21 +226,23 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
           Some msg')
   in
   (* The fault gauntlet for one send: partition, drop, duplicate,
-     delay — same checks, same RNG draw order as the reference loop.
-     Returns the extra fault delay of each copy actually entering the
-     network (one zero-extra copy when the plan is pure). *)
-  let gauntlet ~src ~dst ~msg =
-    if pure then Some [ 0 ]
-    else if Fault_plan.severed plan ~round:!now ~src ~dst then begin
+     delay — same checks, same RNG draw order (drop → duplicate →
+     per-copy delay) and same push order as the reference loop, but the
+     surviving copies are enqueued directly: no per-copy extras list, no
+     per-send closure, and duplicate copies share one envelope record.
+     [base] is the virtual time the schedule delay is added to (−1 for
+     initial sends, [!now] for in-run sends). *)
+  let gauntlet_push ~base env =
+    let dst = env.dst and msg = env.msg in
+    if pure then push ~time:(base + sched_delay ~src:env.src ~dst) env
+    else if Fault_plan.severed plan ~round:!now ~src:env.src ~dst then begin
       note_dropped ~now:!now t ~dst msg;
-      active := true;
-      None
+      active := true
     end
     else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
     then begin
       note_dropped ~now:!now t ~dst msg;
-      active := true;
-      None
+      active := true
     end
     else begin
       let copies =
@@ -253,14 +255,17 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
         end
         else 1
       in
-      Some
-        (List.init copies (fun _ ->
-             if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
-             then begin
-               note_delayed t ~now:!now ~dst msg;
-               1 + Random.State.int frng plan.Fault_plan.max_delay
-             end
-             else 0))
+      for _ = 1 to copies do
+        let extra =
+          if plan.Fault_plan.delay > 0. && Random.State.float frng 1.0 < plan.Fault_plan.delay
+          then begin
+            note_delayed t ~now:!now ~dst msg;
+            1 + Random.State.int frng plan.Fault_plan.max_delay
+          end
+          else 0
+        in
+        push ~time:(base + sched_delay ~src:env.src ~dst + extra) env
+      done
     end
   in
   (* Initial sends were enqueued before plan and schedule were known;
@@ -269,14 +274,8 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     (fun e ->
       match tampering ~src:e.src ~dst:e.dst e.msg with
       | None -> ()
-      | Some msg -> (
-        match gauntlet ~src:e.src ~dst:e.dst ~msg with
-        | None -> ()
-        | Some extras ->
-          List.iter
-            (fun extra ->
-              push ~time:(sched_delay ~src:e.src ~dst:e.dst - 1 + extra) { e with msg })
-            extras))
+      | Some msg ->
+        gauntlet_push ~base:(-1) (if msg == e.msg then e else { e with msg }))
     t.initial;
   let ids = sorted_ids t in
   let quiesced = ref false in
@@ -290,6 +289,10 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      this degenerates to the old once-per-round sample, byte-identical
      traces included. *)
   let next_sample = ref 0 in
+  (* One inbox table for the whole run, cleared per iteration: the
+     delivery loop used to allocate a fresh table every round, which
+     dominated minor-heap churn on million-event runs. *)
+  let inboxes : (int, (int * Msg.t) list) Hashtbl.t = Hashtbl.create 64 in
   while !running do
     active := false;
     let depth = Event_queue.length q in
@@ -298,7 +301,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
       incr next_sample
     done;
     let due = Event_queue.pop_due q ~now:!now in
-    let inboxes = Hashtbl.create 16 in
+    Hashtbl.reset inboxes;
     List.iter
       (fun e ->
         match Fault_plan.crash_round plan e.dst with
@@ -333,15 +336,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
                 t.words <- t.words + Msg.size_words msg;
                 match tampering ~src:id ~dst msg with
                 | None -> ()
-                | Some msg -> (
-                  match gauntlet ~src:id ~dst ~msg with
-                  | None -> ()
-                  | Some extras ->
-                    List.iter
-                      (fun extra ->
-                        push ~time:(!now + sched_delay ~src:id ~dst + extra)
-                          { src = id; dst; msg })
-                      extras)
+                | Some msg -> gauntlet_push ~base:!now { src = id; dst; msg }
               end
               else
                 (* Addressed to an unregistered (deleted) node: traceable,

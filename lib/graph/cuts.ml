@@ -98,29 +98,39 @@ let exact_best_cut ?max_nodes g =
     done;
     (!set, best)
 
-(* Sweep machinery: nodes sorted by score; maintain the running cut value
-   as nodes cross into S: adding u changes the cut by deg(u) minus twice
-   its already-inside neighbours. *)
+(* Sweep machinery over the packed CSR view: nodes sorted by score;
+   maintain the running cut value as nodes cross into S: adding u
+   changes the cut by deg(u) minus twice its already-inside neighbours.
+   Membership is a bool array indexed by packed index and neighbour
+   counts are row scans — no hashing on the hot path. The prefix handed
+   to [f] is the node-id array in sweep order. *)
 let sweep g ~scores f init =
-  let ns = Array.of_list (Graph.nodes g) in
-  let n = Array.length ns in
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
   if n < 2 then init
   else begin
+    let order = Array.init n (fun i -> i) in
     Array.sort
-      (fun u v ->
+      (fun i j ->
+        let u = p.Graph.p_ids.(i) and v = p.Graph.p_ids.(j) in
         let c = Float.compare (scores u) (scores v) in
         if c <> 0 then c else Int.compare u v)
-      ns;
-    let inside = Hashtbl.create n in
+      order;
+    let ids = Array.map (fun i -> p.Graph.p_ids.(i)) order in
+    let inside = Array.make n false in
     let cut = ref 0 and vol = ref 0 in
     let acc = ref init in
     for k = 0 to n - 2 do
-      let u = ns.(k) in
-      let inside_nbrs = Graph.fold_neighbors g u (fun v c -> if Hashtbl.mem inside v then c + 1 else c) 0 in
-      cut := !cut + Graph.degree g u - (2 * inside_nbrs);
-      vol := !vol + Graph.degree g u;
-      Hashtbl.replace inside u ();
-      acc := f !acc ~cut:!cut ~size:(k + 1) ~vol:!vol ~prefix:(ns, k + 1)
+      let i = order.(k) in
+      let d = p.Graph.row_ptr.(i + 1) - p.Graph.row_ptr.(i) in
+      let inside_nbrs = ref 0 in
+      for e = p.Graph.row_ptr.(i) to p.Graph.row_ptr.(i + 1) - 1 do
+        if inside.(p.Graph.cols.(e)) then incr inside_nbrs
+      done;
+      cut := !cut + d - (2 * !inside_nbrs);
+      vol := !vol + d;
+      inside.(i) <- true;
+      acc := f !acc ~cut:!cut ~size:(k + 1) ~vol:!vol ~prefix:(ids, k + 1)
     done;
     !acc
   end

@@ -210,12 +210,14 @@ let random_h_graph ~rng n d =
 let preferential_attachment ~rng n k =
   let seed = max 2 (min n (k + 1)) in
   let g = complete seed in
-  (* Degree-proportional sampling via a repeated-endpoint urn. *)
+  (* Degree-proportional sampling via a repeated-endpoint urn. Seeded
+     from the sorted edge list: the urn layout decides every later
+     degree-proportional draw, so it must be canonical (identical
+     across graph backends), not an iteration-order accident. *)
   let urn = ref [] in
-  Graph.iter_edges
-    (fun e ->
-      urn := Edge.src e :: Edge.dst e :: !urn)
-    g;
+  List.iter
+    (fun e -> urn := Edge.src e :: Edge.dst e :: !urn)
+    (List.rev (Graph.edges g));
   let urn = ref (Array.of_list !urn) in
   let urn_len = ref (Array.length !urn) in
   let push u =

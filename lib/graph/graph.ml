@@ -1,128 +1,103 @@
-type t = {
-  adj : (int, (int, unit) Hashtbl.t) Hashtbl.t;
-  mutable m : int;
-}
+(* Dispatching façade over the two graph backends.
 
-let create ?(capacity = 16) () = { adj = Hashtbl.create capacity; m = 0 }
+   [Graph_hash] is the original pointer-heavy hash adjacency map;
+   [Graph_csr] is the compact int-array store with free-list slots and
+   sorted neighbour runs. Both implement [Graph_intf.S] (pinned below at
+   compile time) and are held observationally equivalent by the
+   differential suite in test_graph_diff.ml. The compact backend is the
+   default: switching it here is what migrates every hot consumer — the
+   Xheal splice/combine loops, linalg sweeps, traversal/cuts/stats — in
+   one move, while [create ~backend:Hash] keeps the reference
+   representation reachable for the equivalence tests. *)
 
-let has_node g u = Hashtbl.mem g.adj u
+module type BACKEND = Graph_intf.S
 
-let add_node g u = if not (has_node g u) then Hashtbl.replace g.adj u (Hashtbl.create 4)
+module _ : BACKEND = Graph_hash
+module _ : BACKEND = Graph_csr
 
-let num_nodes g = Hashtbl.length g.adj
+type backend = Hash | Csr
 
-let iter_nodes f g = Hashtbl.iter (fun u _ -> f u) g.adj
+type t = H of Graph_hash.t | C of Graph_csr.t
 
-let fold_nodes f g init = Hashtbl.fold (fun u _ acc -> f u acc) g.adj init
+let default_backend = Csr
 
-let nodes g = List.sort Int.compare (fold_nodes (fun u acc -> u :: acc) g [])
+let create ?capacity ?(backend = default_backend) () =
+  match backend with
+  | Hash -> H (Graph_hash.create ?capacity ())
+  | Csr -> C (Graph_csr.create ?capacity ())
 
-let max_node g = fold_nodes (fun u acc -> match acc with Some b when b >= u -> acc | _ -> Some u) g None
+let backend = function H _ -> Hash | C _ -> Csr
 
-let adj_of g u = Hashtbl.find_opt g.adj u
+let create_like ?capacity g =
+  match g with
+  | H _ -> H (Graph_hash.create ?capacity ())
+  | C _ -> C (Graph_csr.create ?capacity ())
 
-let has_edge g u v =
-  match adj_of g u with None -> false | Some nb -> Hashtbl.mem nb v
+let copy = function H g -> H (Graph_hash.copy g) | C g -> C (Graph_csr.copy g)
 
-let add_edge g u v =
-  if u = v then invalid_arg "Graph.add_edge: self-loop";
-  add_node g u;
-  add_node g v;
-  let nu = Hashtbl.find g.adj u in
-  if Hashtbl.mem nu v then false
-  else begin
-    Hashtbl.replace nu v ();
-    Hashtbl.replace (Hashtbl.find g.adj v) u ();
-    g.m <- g.m + 1;
-    true
-  end
+let has_node g u = match g with H g -> Graph_hash.has_node g u | C g -> Graph_csr.has_node g u
 
-let remove_edge g u v =
-  match adj_of g u with
-  | None -> false
-  | Some nu ->
-    if Hashtbl.mem nu v then begin
-      Hashtbl.remove nu v;
-      Hashtbl.remove (Hashtbl.find g.adj v) u;
-      g.m <- g.m - 1;
-      true
-    end
-    else false
+let add_node g u = match g with H g -> Graph_hash.add_node g u | C g -> Graph_csr.add_node g u
 
 let remove_node g u =
-  match adj_of g u with
-  | None -> ()
-  | Some nu ->
-    Hashtbl.iter
-      (fun v () ->
-        Hashtbl.remove (Hashtbl.find g.adj v) u;
-        g.m <- g.m - 1)
-      nu;
-    Hashtbl.remove g.adj u
+  match g with H g -> Graph_hash.remove_node g u | C g -> Graph_csr.remove_node g u
 
-let num_edges g = g.m
+let num_nodes = function H g -> Graph_hash.num_nodes g | C g -> Graph_csr.num_nodes g
 
-let iter_edges f g =
-  Hashtbl.iter
-    (fun u nb -> Hashtbl.iter (fun v () -> if u < v then f (Edge.make u v)) nb)
-    g.adj
+let nodes = function H g -> Graph_hash.nodes g | C g -> Graph_csr.nodes g
+
+let iter_nodes f = function H g -> Graph_hash.iter_nodes f g | C g -> Graph_csr.iter_nodes f g
+
+let fold_nodes f g init =
+  match g with H g -> Graph_hash.fold_nodes f g init | C g -> Graph_csr.fold_nodes f g init
+
+let max_node = function H g -> Graph_hash.max_node g | C g -> Graph_csr.max_node g
+
+let has_edge g u v =
+  match g with H g -> Graph_hash.has_edge g u v | C g -> Graph_csr.has_edge g u v
+
+let add_edge g u v =
+  match g with H g -> Graph_hash.add_edge g u v | C g -> Graph_csr.add_edge g u v
+
+let remove_edge g u v =
+  match g with H g -> Graph_hash.remove_edge g u v | C g -> Graph_csr.remove_edge g u v
+
+let num_edges = function H g -> Graph_hash.num_edges g | C g -> Graph_csr.num_edges g
+
+let edges = function H g -> Graph_hash.edges g | C g -> Graph_csr.edges g
+
+let iter_edges f = function H g -> Graph_hash.iter_edges f g | C g -> Graph_csr.iter_edges f g
 
 let fold_edges f g init =
-  let acc = ref init in
-  iter_edges (fun e -> acc := f e !acc) g;
-  !acc
+  match g with H g -> Graph_hash.fold_edges f g init | C g -> Graph_csr.fold_edges f g init
 
-let edges g = List.sort Edge.compare (fold_edges (fun e acc -> e :: acc) g [])
+let degree g u = match g with H g -> Graph_hash.degree g u | C g -> Graph_csr.degree g u
 
-let degree g u = match adj_of g u with None -> 0 | Some nb -> Hashtbl.length nb
+let neighbors g u = match g with H g -> Graph_hash.neighbors g u | C g -> Graph_csr.neighbors g u
 
 let iter_neighbors g u f =
-  match adj_of g u with None -> () | Some nb -> Hashtbl.iter (fun v () -> f v) nb
+  match g with H g -> Graph_hash.iter_neighbors g u f | C g -> Graph_csr.iter_neighbors g u f
 
 let fold_neighbors g u f init =
-  match adj_of g u with
-  | None -> init
-  | Some nb -> Hashtbl.fold (fun v () acc -> f v acc) nb init
+  match g with
+  | H g -> Graph_hash.fold_neighbors g u f init
+  | C g -> Graph_csr.fold_neighbors g u f init
 
-let neighbors g u = List.sort Int.compare (fold_neighbors g u (fun v acc -> v :: acc) [])
+let min_degree = function H g -> Graph_hash.min_degree g | C g -> Graph_csr.min_degree g
 
-let min_degree g =
-  if num_nodes g = 0 then 0
-  else fold_nodes (fun u acc -> min acc (degree g u)) g max_int
+let max_degree = function H g -> Graph_hash.max_degree g | C g -> Graph_csr.max_degree g
 
-let max_degree g = fold_nodes (fun u acc -> max acc (degree g u)) g 0
+let volume g ns = match g with H g -> Graph_hash.volume g ns | C g -> Graph_csr.volume g ns
 
-let volume g ns =
-  let seen = Hashtbl.create (List.length ns) in
-  List.fold_left
-    (fun acc u ->
-      if Hashtbl.mem seen u then acc
-      else begin
-        Hashtbl.replace seen u ();
-        acc + degree g u
-      end)
-    0 ns
+let of_edges ?nodes ?(backend = default_backend) es =
+  match backend with
+  | Hash -> H (Graph_hash.of_edges ?nodes es)
+  | Csr -> C (Graph_csr.of_edges ?nodes es)
 
-let copy g =
-  let g' = create ~capacity:(num_nodes g) () in
-  iter_nodes (fun u -> add_node g' u) g;
-  iter_edges (fun e -> ignore (add_edge g' (Edge.src e) (Edge.dst e))) g;
-  g'
+let sub g ns = match g with H g -> H (Graph_hash.sub g ns) | C g -> C (Graph_csr.sub g ns)
 
-let of_edges ?(nodes = []) es =
-  let g = create () in
-  List.iter (fun u -> add_node g u) nodes;
-  List.iter (fun (u, v) -> ignore (add_edge g u v)) es;
-  g
-
-let sub g ns =
-  let g' = create ~capacity:(List.length ns) () in
-  List.iter (fun u -> if has_node g u then add_node g' u) ns;
-  List.iter
-    (fun u -> iter_neighbors g u (fun v -> if u < v && has_node g' v then ignore (add_edge g' u v)))
-    ns;
-  g'
-
+(* Cross-backend by construction: only the canonical façade operations
+   are used, so [dst] and [src] may differ in representation. *)
 let union_into ~dst src =
   iter_nodes (fun u -> add_node dst u) src;
   iter_edges (fun e -> ignore (add_edge dst (Edge.src e) (Edge.dst e))) src
@@ -133,30 +108,50 @@ let equal g1 g2 =
   && fold_nodes (fun u acc -> acc && has_node g2 u) g1 true
   && fold_edges (fun e acc -> acc && has_edge g2 (Edge.src e) (Edge.dst e)) g1 true
 
-let check_invariants g =
-  let err = ref None in
-  let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
-  let half_count = ref 0 in
-  Hashtbl.iter
-    (fun u nb ->
-      Hashtbl.iter
-        (fun v () ->
-          incr half_count;
-          if u = v then fail "self-loop at %d" u;
-          match adj_of g v with
-          | None -> fail "edge %d--%d points to missing node %d" u v v
-          | Some nv -> if not (Hashtbl.mem nv u) then fail "asymmetric edge %d--%d" u v)
-        nb)
-    g.adj;
-  if !half_count <> 2 * g.m then
-    fail "edge count mismatch: counted %d half-edges, recorded m=%d" !half_count g.m;
-  match !err with None -> Ok () | Some s -> Error s
+let with_backend b g =
+  if backend g = b then copy g
+  else begin
+    let g' = create ~capacity:(num_nodes g) ~backend:b () in
+    union_into ~dst:g' g;
+    g'
+  end
 
-let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" (num_nodes g) (num_edges g)
+let check_invariants = function
+  | H g -> Graph_hash.check_invariants g
+  | C g -> Graph_csr.check_invariants g
 
-let pp_full ppf g =
-  Format.fprintf ppf "@[<v>%a" pp g;
-  List.iter
-    (fun u -> Format.fprintf ppf "@,  %d: %a" u Format.(pp_print_list ~pp_sep:pp_print_space pp_print_int) (neighbors g u))
-    (nodes g);
-  Format.fprintf ppf "@]"
+let pp ppf = function H g -> Graph_hash.pp ppf g | C g -> Graph_csr.pp ppf g
+
+let pp_full ppf = function H g -> Graph_hash.pp_full ppf g | C g -> Graph_csr.pp_full ppf g
+
+(* ------------------------------------------------------------------ *)
+(* Packed CSR view.                                                   *)
+
+type packed = Graph_csr.packed = {
+  p_ids : int array;
+  row_ptr : int array;
+  cols : int array;
+}
+
+let packed_index = Graph_csr.packed_index
+
+let pack = function
+  | C g -> Graph_csr.pack g
+  | H g ->
+    (* Generic construction off the sorted accessors: same canonical
+       result (sorted ids, sorted rows) as the compact fast path. *)
+    let ids = Array.of_list (Graph_hash.nodes g) in
+    let n = Array.length ids in
+    let row_ptr = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i) + Graph_hash.degree g ids.(i)
+    done;
+    let cols = Array.make row_ptr.(n) 0 in
+    let p = { p_ids = ids; row_ptr; cols } in
+    for i = 0 to n - 1 do
+      let base = row_ptr.(i) in
+      List.iteri
+        (fun k v -> cols.(base + k) <- packed_index p v)
+        (Graph_hash.neighbors g ids.(i))
+    done;
+    p

@@ -2,20 +2,49 @@
 
     This is the shared substrate for the whole reproduction: the healed
     network [G_t], the insert-only shadow graph [G'_t], expander clouds and
-    all baselines manipulate values of this type. The structure is a hash
-    adjacency map, so node identifiers may be arbitrary non-negative
-    integers and need not be contiguous.
+    all baselines manipulate values of this type. Two representations
+    implement the common contract ({!Graph_intf.S}):
 
-    All mutating operations preserve the invariants: no self-loops, no
-    parallel edges, symmetry of adjacency, and an exact edge count. *)
+    - {!Graph_csr} (the {e default}): compact int-array adjacency with
+      free-list node slots and sorted packed neighbour runs — the
+      cache-friendly layout the million-node benches run on;
+    - {!Graph_hash}: the original hash adjacency map, kept as the
+      reference backend for the differential test harness.
+
+    Node identifiers may be arbitrary non-negative integers and need not
+    be contiguous. All mutating operations preserve the invariants: no
+    self-loops, no parallel edges, symmetry of adjacency, and an exact
+    edge count. The sorted accessors ([nodes], [edges], [neighbors]) are
+    canonical — identical across backends — while [iter_*]/[fold_*]
+    visit in each backend's internal (unspecified, deterministic per
+    operation history) order. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Fresh empty graph. [capacity] is a hash-table size hint. *)
+(** {1 Backends} *)
+
+type backend =
+  | Hash  (** Hash adjacency map ({!Graph_hash}). *)
+  | Csr  (** Compact int-array store ({!Graph_csr}). *)
+
+val default_backend : backend
+(** [Csr]. *)
+
+val backend : t -> backend
+
+val create : ?capacity:int -> ?backend:backend -> unit -> t
+(** Fresh empty graph. [capacity] is a size hint; [backend] defaults to
+    {!default_backend}. *)
+
+val create_like : ?capacity:int -> t -> t
+(** Fresh empty graph on the same backend as the given one. *)
+
+val with_backend : backend -> t -> t
+(** Deep copy converted to the given backend (a plain {!copy} when the
+    backend already matches). *)
 
 val copy : t -> t
-(** Deep, independent copy. *)
+(** Deep, independent copy (same backend). *)
 
 (** {1 Nodes} *)
 
@@ -71,6 +100,8 @@ val neighbors : t -> int -> int list
 (** Sorted neighbour list; [[]] if the node is absent. *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** On the compact backend, visits in ascending (canonical) order; on
+    the hash backend, in hash order. *)
 
 val fold_neighbors : t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
 
@@ -85,24 +116,47 @@ val volume : t -> int list -> int
 
 (** {1 Construction helpers} *)
 
-val of_edges : ?nodes:int list -> (int * int) list -> t
+val of_edges : ?nodes:int list -> ?backend:backend -> (int * int) list -> t
 (** Graph with the given edges (duplicates ignored) plus any extra
     isolated [nodes]. *)
 
 val sub : t -> int list -> t
-(** Induced subgraph on the given node set. *)
+(** Induced subgraph on the given node set (same backend). *)
 
 val union_into : dst:t -> t -> unit
-(** Adds every node and edge of the second graph into [dst]. *)
+(** Adds every node and edge of the second graph into [dst]. The two
+    graphs may use different backends. *)
+
+(** {1 Packed CSR view}
+
+    A frozen snapshot for the read-only hot paths (spectral sweeps, BFS,
+    conductance sweeps): nodes re-indexed as [0 .. n-1] in ascending id
+    order — the same order {!Indexing.of_graph} assigns — with
+    concatenated sorted adjacency rows. Mutating the graph does not
+    update an existing packed view. *)
+
+type packed = private {
+  p_ids : int array;  (** packed index -> node id, ascending. *)
+  row_ptr : int array;  (** length [n+1]; row [i] is [cols.(row_ptr.(i)) .. cols.(row_ptr.(i+1)-1)]. *)
+  cols : int array;  (** neighbour {e packed indices}, sorted within each row. *)
+}
+
+val pack : t -> packed
+
+val packed_index : packed -> int -> int
+(** Packed index of a node id (binary search).
+    @raise Invalid_argument when the node is not in the view. *)
 
 (** {1 Comparison and display} *)
 
 val equal : t -> t -> bool
-(** Structural equality: same node set and same edge set. *)
+(** Structural equality: same node set and same edge set. The two graphs
+    may use different backends. *)
 
 val check_invariants : t -> (unit, string) result
 (** Verifies adjacency symmetry, absence of self-loops and edge-count
-    consistency. Used by the test suite. *)
+    consistency (plus slot/free-list consistency on the compact
+    backend). Used by the test suite. *)
 
 val pp : Format.formatter -> t -> unit
 (** Compact summary: [graph(n=…, m=…)]. *)

@@ -1,0 +1,207 @@
+(* Hash adjacency-map backend: [(int, (int, unit) Hashtbl.t) Hashtbl.t].
+
+   This is the original representation of the repo's [Graph] module,
+   kept as the reference backend: node identifiers may be arbitrary
+   integers, mutation is O(1) expected, and memory is pointer-heavy.
+   The compact backend ([Graph_csr]) is the default at scale; the
+   differential suite in test_graph_diff.ml pins the two to identical
+   observable behaviour.
+
+   The [iter_*]/[fold_*] primitives traverse the tables in hash order —
+   documented as unspecified, which is why each carries the xlint
+   order-independence pragma: every order-sensitive consumer goes
+   through the sorted accessors (nodes, edges, neighbors) built on top
+   of them. *)
+
+type t = {
+  adj : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable m : int;
+  (* Cached largest node id, or [stale_max] when it must be recomputed
+     (after removing the maximum). Avoids the full fold that made
+     [max_node] O(n) on every call. *)
+  mutable maxn : int;
+}
+
+let stale_max = min_int
+
+let create ?(capacity = 16) () = { adj = Hashtbl.create capacity; m = 0; maxn = stale_max }
+
+let has_node g u = Hashtbl.mem g.adj u
+
+let add_node g u =
+  if not (has_node g u) then begin
+    Hashtbl.replace g.adj u (Hashtbl.create 4);
+    if Hashtbl.length g.adj = 1 then g.maxn <- u
+    else if g.maxn <> stale_max && u > g.maxn then g.maxn <- u
+  end
+
+let num_nodes g = Hashtbl.length g.adj
+
+(* xlint: order-independent *)
+let iter_nodes f g = Hashtbl.iter (fun u _ -> f u) g.adj
+
+(* xlint: order-independent *)
+let fold_nodes f g init = Hashtbl.fold (fun u _ acc -> f u acc) g.adj init
+
+let nodes g = List.sort Int.compare (fold_nodes (fun u acc -> u :: acc) g [])
+
+let max_node g =
+  if num_nodes g = 0 then None
+  else begin
+    if g.maxn = stale_max then
+      g.maxn <- fold_nodes (fun u acc -> if u > acc then u else acc) g stale_max;
+    Some g.maxn
+  end
+
+let adj_of g u = Hashtbl.find_opt g.adj u
+
+let has_edge g u v =
+  match adj_of g u with None -> false | Some nb -> Hashtbl.mem nb v
+
+let add_edge g u v =
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  add_node g u;
+  add_node g v;
+  let nu = Hashtbl.find g.adj u in
+  if Hashtbl.mem nu v then false
+  else begin
+    Hashtbl.replace nu v ();
+    Hashtbl.replace (Hashtbl.find g.adj v) u ();
+    g.m <- g.m + 1;
+    true
+  end
+
+let remove_edge g u v =
+  match adj_of g u with
+  | None -> false
+  | Some nu ->
+    if Hashtbl.mem nu v then begin
+      Hashtbl.remove nu v;
+      Hashtbl.remove (Hashtbl.find g.adj v) u;
+      g.m <- g.m - 1;
+      true
+    end
+    else false
+
+let remove_node g u =
+  match adj_of g u with
+  | None -> ()
+  | Some nu ->
+    (* Single batched edge-count update (the old per-neighbour decrement
+       paired every reverse-table lookup with a counter write); the
+       reverse lookup itself is inherent to the representation. *)
+    let d = Hashtbl.length nu in
+    (* xlint: order-independent *)
+    Hashtbl.iter (fun v () -> Hashtbl.remove (Hashtbl.find g.adj v) u) nu;
+    g.m <- g.m - d;
+    Hashtbl.remove g.adj u;
+    if Hashtbl.length g.adj = 0 || u = g.maxn then g.maxn <- stale_max
+
+let num_edges g = g.m
+
+let iter_edges f g =
+  (* xlint: order-independent *)
+  Hashtbl.iter (fun u nb -> Hashtbl.iter (fun v () -> if u < v then f (Edge.make u v)) nb) g.adj
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f e !acc) g;
+  !acc
+
+let edges g = List.sort Edge.compare (fold_edges (fun e acc -> e :: acc) g [])
+
+let degree g u = match adj_of g u with None -> 0 | Some nb -> Hashtbl.length nb
+
+let iter_neighbors g u f =
+  (* xlint: order-independent *)
+  match adj_of g u with None -> () | Some nb -> Hashtbl.iter (fun v () -> f v) nb
+
+let fold_neighbors g u f init =
+  match adj_of g u with
+  | None -> init
+  (* xlint: order-independent *)
+  | Some nb -> Hashtbl.fold (fun v () acc -> f v acc) nb init
+
+let neighbors g u = List.sort Int.compare (fold_neighbors g u (fun v acc -> v :: acc) [])
+
+let min_degree g =
+  if num_nodes g = 0 then 0
+  else fold_nodes (fun u acc -> min acc (degree g u)) g max_int
+
+let max_degree g = fold_nodes (fun u acc -> max acc (degree g u)) g 0
+
+let volume g ns =
+  let seen = Hashtbl.create (List.length ns) in
+  List.fold_left
+    (fun acc u ->
+      if Hashtbl.mem seen u then acc
+      else begin
+        Hashtbl.replace seen u ();
+        acc + degree g u
+      end)
+    0 ns
+
+let copy g =
+  let g' = create ~capacity:(num_nodes g) () in
+  iter_nodes (fun u -> add_node g' u) g;
+  iter_edges (fun e -> ignore (add_edge g' (Edge.src e) (Edge.dst e))) g;
+  g'
+
+let of_edges ?(nodes = []) es =
+  let g = create () in
+  List.iter (fun u -> add_node g u) nodes;
+  List.iter (fun (u, v) -> ignore (add_edge g u v)) es;
+  g
+
+let sub g ns =
+  let g' = create ~capacity:(List.length ns) () in
+  List.iter (fun u -> if has_node g u then add_node g' u) ns;
+  List.iter
+    (fun u -> iter_neighbors g u (fun v -> if u < v && has_node g' v then ignore (add_edge g' u v)))
+    ns;
+  g'
+
+let union_into ~dst src =
+  iter_nodes (fun u -> add_node dst u) src;
+  iter_edges (fun e -> ignore (add_edge dst (Edge.src e) (Edge.dst e))) src
+
+let equal g1 g2 =
+  num_nodes g1 = num_nodes g2
+  && num_edges g1 = num_edges g2
+  && fold_nodes (fun u acc -> acc && has_node g2 u) g1 true
+  && fold_edges (fun e acc -> acc && has_edge g2 (Edge.src e) (Edge.dst e)) g1 true
+
+let check_invariants g =
+  let err = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !err = None then err := Some s) fmt in
+  let half_count = ref 0 in
+  (* xlint: order-independent *)
+  Hashtbl.iter
+    (fun u nb ->
+      (* xlint: order-independent *)
+      Hashtbl.iter
+        (fun v () ->
+          incr half_count;
+          if u = v then fail "self-loop at %d" u;
+          match adj_of g v with
+          | None -> fail "edge %d--%d points to missing node %d" u v v
+          | Some nv -> if not (Hashtbl.mem nv u) then fail "asymmetric edge %d--%d" u v)
+        nb)
+    g.adj;
+  if !half_count <> 2 * g.m then
+    fail "edge count mismatch: counted %d half-edges, recorded m=%d" !half_count g.m;
+  (match max_node g with
+  | Some cached ->
+    let actual = fold_nodes (fun u acc -> max u acc) g min_int in
+    if cached <> actual then fail "stale max_node cache: %d, actual %d" cached actual
+  | None -> if num_nodes g <> 0 then fail "max_node None on non-empty graph");
+  match !err with None -> Ok () | Some s -> Error s
+
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" (num_nodes g) (num_edges g)
+
+let pp_full ppf g =
+  Format.fprintf ppf "@[<v>%a" pp g;
+  List.iter
+    (fun u -> Format.fprintf ppf "@,  %d: %a" u Format.(pp_print_list ~pp_sep:pp_print_space pp_print_int) (neighbors g u))
+    (nodes g);
+  Format.fprintf ppf "@]"

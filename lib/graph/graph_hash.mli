@@ -1,0 +1,7 @@
+(** Hash adjacency-map backend (the original representation).
+
+    Reference backend for the differential test harness; see
+    {!Graph_intf.S} for the contract and {!Graph} for the façade all
+    consumers use. *)
+
+include Graph_intf.S

@@ -1,0 +1,117 @@
+(** The common contract of the graph backends.
+
+    Both concrete representations — the hash adjacency map
+    ({!Graph_hash}) and the compact int-array/CSR-style store
+    ({!Graph_csr}) — implement exactly this signature, and the
+    differential test suite ([test_graph_diff.ml]) drives random
+    operation sequences against the two through it. {!Graph} is the
+    dispatching façade everything else in the repo uses.
+
+    Determinism contract: [nodes], [edges] and [neighbors] are sorted
+    and therefore canonical across backends; the [iter_*]/[fold_*]
+    visit orders are unspecified (each backend visits in its own
+    internal order) and must never escape into results that are
+    compared across runs or backends. *)
+
+module type S = sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty graph. [capacity] is a size hint. *)
+
+  val copy : t -> t
+  (** Deep, independent copy. *)
+
+  (** {1 Nodes} *)
+
+  val has_node : t -> int -> bool
+
+  val add_node : t -> int -> unit
+  (** Idempotent: adding an existing node is a no-op. *)
+
+  val remove_node : t -> int -> unit
+  (** Removes the node and every incident edge. No-op if absent. *)
+
+  val num_nodes : t -> int
+
+  val nodes : t -> int list
+  (** Sorted list of all nodes. *)
+
+  val iter_nodes : (int -> unit) -> t -> unit
+
+  val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val max_node : t -> int option
+  (** Largest node identifier present, if any. *)
+
+  (** {1 Edges} *)
+
+  val has_edge : t -> int -> int -> bool
+
+  val add_edge : t -> int -> int -> bool
+  (** [add_edge g u v] ensures the edge [{u,v}] exists, implicitly adding
+      missing endpoints. Returns [true] if the edge was newly created,
+      [false] if it was already present.
+      @raise Invalid_argument on a self-loop. *)
+
+  val remove_edge : t -> int -> int -> bool
+  (** Returns [true] iff the edge existed and was removed. *)
+
+  val num_edges : t -> int
+
+  val edges : t -> Edge.t list
+  (** All edges, sorted by {!Edge.compare} (deterministic). *)
+
+  val iter_edges : (Edge.t -> unit) -> t -> unit
+  (** Each edge visited exactly once, in unspecified order. *)
+
+  val fold_edges : (Edge.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+  (** {1 Adjacency} *)
+
+  val degree : t -> int -> int
+  (** Degree of a node; [0] if the node is absent. *)
+
+  val neighbors : t -> int -> int list
+  (** Sorted neighbour list; [[]] if the node is absent. *)
+
+  val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+  val fold_neighbors : t -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+
+  val min_degree : t -> int
+  (** Minimum degree over present nodes. [0] for the empty graph. *)
+
+  val max_degree : t -> int
+  (** Maximum degree over present nodes. [0] for the empty graph. *)
+
+  val volume : t -> int list -> int
+  (** Sum of degrees of the given nodes (each counted once). *)
+
+  (** {1 Construction helpers} *)
+
+  val of_edges : ?nodes:int list -> (int * int) list -> t
+  (** Graph with the given edges (duplicates ignored) plus any extra
+      isolated [nodes]. *)
+
+  val sub : t -> int list -> t
+  (** Induced subgraph on the given node set. *)
+
+  val union_into : dst:t -> t -> unit
+  (** Adds every node and edge of the second graph into [dst]. *)
+
+  (** {1 Comparison and display} *)
+
+  val equal : t -> t -> bool
+  (** Structural equality: same node set and same edge set. *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Verifies adjacency symmetry, absence of self-loops and edge-count
+      consistency. Used by the test suite. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Compact summary: [graph(n=…, m=…)]. *)
+
+  val pp_full : Format.formatter -> t -> unit
+  (** Full adjacency dump, deterministic order. *)
+end

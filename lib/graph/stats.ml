@@ -28,13 +28,20 @@ let degree_of_each g =
   List.map (fun u -> (u, Graph.degree g u)) (Graph.nodes g)
 
 let degree_histogram g =
-  let tbl = Hashtbl.create 16 in
-  Graph.iter_nodes
-    (fun u ->
-      let d = Graph.degree g u in
-      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
-    g;
-  List.sort (fun (a, _) (b, _) -> Int.compare a b) (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+  (* Degrees come straight off the packed row pointers; counting into a
+     flat array (indexed by degree) replaces the hash-table tally. *)
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
+  let counts = Array.make (if n = 0 then 1 else Graph.max_degree g + 1) 0 in
+  for i = 0 to n - 1 do
+    let d = p.Graph.row_ptr.(i + 1) - p.Graph.row_ptr.(i) in
+    counts.(d) <- counts.(d) + 1
+  done;
+  let out = ref [] in
+  for d = Array.length counts - 1 downto 0 do
+    if counts.(d) > 0 then out := (d, counts.(d)) :: !out
+  done;
+  !out
 
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d m=%d deg=[%d..%d] mean=%.2f comps=%d%s" s.n s.m s.min_degree

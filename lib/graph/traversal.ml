@@ -1,19 +1,46 @@
+(* BFS cores run on the packed CSR view ({!Graph.pack}): flat int-array
+   queue and distance map, rows scanned straight out of [cols] — no
+   per-visit hashing or list allocation, and neighbour expansion in
+   ascending (canonical) order, identical across graph backends. *)
+
+(* One BFS from packed index [src]. [dist] must hold [-1] at every
+   unvisited entry; [dist]/[parent] are written in place and [queue]
+   ends up holding the visit order. Returns the number of nodes
+   reached. *)
+let bfs_core (p : Graph.packed) dist parent queue src =
+  let head = ref 0 and tail = ref 0 in
+  dist.(src) <- 0;
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) + 1 in
+    for k = p.Graph.row_ptr.(u) to p.Graph.row_ptr.(u + 1) - 1 do
+      let v = p.Graph.cols.(k) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- du;
+        parent.(v) <- u;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  !tail
+
 let bfs_with_parents g s =
   let dist = Hashtbl.create 64 in
   let parent = Hashtbl.create 64 in
   if Graph.has_node g s then begin
-    let q = Queue.create () in
-    Hashtbl.replace dist s 0;
-    Queue.add s q;
-    while not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      let du = Hashtbl.find dist u in
-      Graph.iter_neighbors g u (fun v ->
-          if not (Hashtbl.mem dist v) then begin
-            Hashtbl.replace dist v (du + 1);
-            Hashtbl.replace parent v u;
-            Queue.add v q
-          end)
+    let p = Graph.pack g in
+    let n = Array.length p.Graph.p_ids in
+    let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+    ignore (bfs_core p d par q (Graph.packed_index p s));
+    for i = 0 to n - 1 do
+      if d.(i) >= 0 then begin
+        Hashtbl.replace dist p.Graph.p_ids.(i) d.(i);
+        if par.(i) >= 0 then Hashtbl.replace parent p.Graph.p_ids.(i) p.Graph.p_ids.(par.(i))
+      end
     done
   end;
   (dist, parent)
@@ -36,48 +63,88 @@ let shortest_path g s t =
       Some (walk t [])
 
 let component_of g s =
-  let dist = bfs_distances g s in
-  List.sort Int.compare (Hashtbl.fold (fun u _ acc -> u :: acc) dist [])
+  if not (Graph.has_node g s) then []
+  else begin
+    let p = Graph.pack g in
+    let n = Array.length p.Graph.p_ids in
+    let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+    let reached = bfs_core p d par q (Graph.packed_index p s) in
+    List.sort Int.compare (List.init reached (fun k -> p.Graph.p_ids.(q.(k))))
+  end
 
 let components g =
-  let seen = Hashtbl.create (Graph.num_nodes g) in
-  let comps =
-    List.filter_map
-      (fun u ->
-        if Hashtbl.mem seen u then None
-        else begin
-          let comp = component_of g u in
-          List.iter (fun v -> Hashtbl.replace seen v ()) comp;
-          Some comp
-        end)
-      (Graph.nodes g)
-  in
-  comps
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
+  let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+  let comps = ref [] in
+  (* Packed indices ascend with node ids, so scanning them in order
+     emits components ordered by smallest member. *)
+  for i = 0 to n - 1 do
+    if d.(i) < 0 then begin
+      let reached = bfs_core p d par q i in
+      comps :=
+        List.sort Int.compare (List.init reached (fun k -> p.Graph.p_ids.(q.(k)))) :: !comps
+    end
+  done;
+  List.rev !comps
 
-let num_components g = List.length (components g)
+let num_components g =
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
+  let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if d.(i) < 0 then begin
+      incr count;
+      ignore (bfs_core p d par q i)
+    end
+  done;
+  !count
 
 let is_connected g =
-  match Graph.nodes g with
-  | [] -> true
-  | s :: _ -> List.length (component_of g s) = Graph.num_nodes g
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
+  n = 0
+  ||
+  let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+  bfs_core p d par q 0 = n
 
 let eccentricity g s =
   if not (Graph.has_node g s) then None
-  else
-    let dist = bfs_distances g s in
-    if Hashtbl.length dist <> Graph.num_nodes g then None
-    else Some (Hashtbl.fold (fun _ d acc -> max d acc) dist 0)
+  else begin
+    let p = Graph.pack g in
+    let n = Array.length p.Graph.p_ids in
+    let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+    if bfs_core p d par q (Graph.packed_index p s) <> n then None
+    else begin
+      let best = ref 0 in
+      for i = 0 to n - 1 do
+        if d.(i) > !best then best := d.(i)
+      done;
+      Some !best
+    end
+  end
 
 let diameter g =
-  match Graph.nodes g with
-  | [] -> None
-  | ns ->
-    List.fold_left
-      (fun acc s ->
-        match (acc, eccentricity g s) with
-        | Some best, Some e -> Some (max best e)
-        | _, None | None, _ -> None)
-      (Some 0) ns
+  let p = Graph.pack g in
+  let n = Array.length p.Graph.p_ids in
+  if n = 0 then None
+  else begin
+    (* All-sources BFS over one packed view, scratch arrays reused. *)
+    let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
+    let best = ref 0 and connected = ref true in
+    let i = ref 0 in
+    while !connected && !i < n do
+      Array.fill d 0 n (-1);
+      if bfs_core p d par q !i <> n then connected := false
+      else
+        for j = 0 to n - 1 do
+          if d.(j) > !best then best := d.(j)
+        done;
+      incr i
+    done;
+    if !connected then Some !best else None
+  end
 
 (* Tarjan low-link articulation points, iterative to survive deep graphs. *)
 let articulation_points g =

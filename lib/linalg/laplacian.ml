@@ -1,22 +1,57 @@
 module G = Xheal_graph.Graph
-module E = Xheal_graph.Edge
 
-let entries_of_graph ix g weight =
-  G.fold_edges
-    (fun e acc ->
-      let i = Indexing.index ix (E.src e) and j = Indexing.index ix (E.dst e) in
-      let w = weight i j in
-      (i, j, w) :: (j, i, w) :: acc)
-    g []
+(* All operators are laid out straight off the packed CSR graph view
+   ({!G.pack}): the packed node order is ascending by id, exactly the
+   order {!Indexing.of_graph} assigns, so packed index = matrix index.
+   Row columns are the (sorted) neighbour indices with an optional
+   diagonal spliced in at its sorted position — structurally identical
+   to what the previous [Sparse.of_entries] coalescing build produced,
+   hence bit-identical matvec results, without the intermediate entry
+   lists, hash table, or per-row sort. *)
+
+(* [csr_of_pack p ?diag off] builds the operator whose off-diagonal
+   entry (i, j) is [off i j] for every graph edge and whose diagonal is
+   [diag i] when given. Simple graphs have no self-loops, so the
+   diagonal never collides with a neighbour column. *)
+let csr_of_pack (p : G.packed) ?diag off =
+  let n = Array.length p.G.p_ids in
+  let nnz = Array.length p.G.cols + if diag = None then 0 else n in
+  let row_ptr = Array.make (n + 1) 0 in
+  let col = Array.make nnz 0 and value = Array.make nnz 0.0 in
+  let k = ref 0 in
+  let put j v =
+    col.(!k) <- j;
+    value.(!k) <- v;
+    incr k
+  in
+  for i = 0 to n - 1 do
+    row_ptr.(i) <- !k;
+    let placed = ref (diag = None) in
+    for e = p.G.row_ptr.(i) to p.G.row_ptr.(i + 1) - 1 do
+      let j = p.G.cols.(e) in
+      if (not !placed) && i < j then begin
+        (match diag with Some d -> put i (d i) | None -> ());
+        placed := true
+      end;
+      put j (off i j)
+    done;
+    if not !placed then
+      match diag with Some d -> put i (d i) | None -> ()
+  done;
+  row_ptr.(n) <- !k;
+  Sparse.of_sorted_rows n ~row_ptr ~col ~value
+
+let pack_degree (p : G.packed) i = p.G.row_ptr.(i + 1) - p.G.row_ptr.(i)
 
 let sparse g =
   let ix = Indexing.of_graph g in
-  let n = Indexing.size ix in
-  let off = entries_of_graph ix g (fun _ _ -> -1.0) in
-  let diag =
-    List.init n (fun i -> (i, i, float_of_int (G.degree g (Indexing.node ix i))))
+  let p = G.pack g in
+  let lap =
+    csr_of_pack p
+      ~diag:(fun i -> float_of_int (pack_degree p i))
+      (fun _ _ -> -1.0)
   in
-  (ix, Sparse.of_entries n (diag @ off))
+  (ix, lap)
 
 let dense g =
   let ix, sp = sparse g in
@@ -24,39 +59,37 @@ let dense g =
 
 let normalized_sparse g =
   let ix = Indexing.of_graph g in
-  let n = Indexing.size ix in
+  let p = G.pack g in
+  let n = Array.length p.G.p_ids in
   let invsqrt =
     Array.init n (fun i ->
-        let d = G.degree g (Indexing.node ix i) in
+        let d = pack_degree p i in
         if d = 0 then 0.0 else 1.0 /. sqrt (float_of_int d))
   in
-  let off = entries_of_graph ix g (fun i j -> -.(invsqrt.(i) *. invsqrt.(j))) in
-  let diag =
-    List.init n (fun i ->
-        let d = G.degree g (Indexing.node ix i) in
-        (i, i, if d = 0 then 0.0 else 1.0))
+  let lap =
+    csr_of_pack p
+      ~diag:(fun i -> if pack_degree p i = 0 then 0.0 else 1.0)
+      (fun i j -> -.(invsqrt.(i) *. invsqrt.(j)))
   in
-  (ix, Sparse.of_entries n (diag @ off))
+  (ix, lap)
 
 let adjacency_sparse g =
   let ix = Indexing.of_graph g in
-  let n = Indexing.size ix in
-  (ix, Sparse.of_entries n (entries_of_graph ix g (fun _ _ -> 1.0)))
+  let p = G.pack g in
+  (ix, csr_of_pack p (fun _ _ -> 1.0))
 
 let lazy_walk_sparse g =
   let ix = Indexing.of_graph g in
-  let n = Indexing.size ix in
+  let p = G.pack g in
+  let n = Array.length p.G.p_ids in
   let inv_deg =
     Array.init n (fun i ->
-        let d = G.degree g (Indexing.node ix i) in
+        let d = pack_degree p i in
         if d = 0 then 0.0 else 1.0 /. float_of_int d)
   in
-  let off =
-    G.fold_edges
-      (fun e acc ->
-        let i = Indexing.index ix (E.src e) and j = Indexing.index ix (E.dst e) in
-        (i, j, 0.5 *. inv_deg.(i)) :: (j, i, 0.5 *. inv_deg.(j)) :: acc)
-      g []
+  let walk =
+    csr_of_pack p
+      ~diag:(fun i -> 0.5 +. (if inv_deg.(i) = 0.0 then 0.5 else 0.0))
+      (fun i _ -> 0.5 *. inv_deg.(i))
   in
-  let diag = List.init n (fun i -> (i, i, 0.5 +. (if inv_deg.(i) = 0.0 then 0.5 else 0.0))) in
-  (ix, Sparse.of_entries n (diag @ off))
+  (ix, walk)

@@ -50,6 +50,20 @@ let of_entries n entries =
   done;
   { n; row_ptr; col; value }
 
+let of_sorted_rows n ~row_ptr ~col ~value =
+  if Array.length row_ptr <> n + 1 then invalid_arg "Sparse.of_sorted_rows: row_ptr length";
+  if row_ptr.(0) <> 0 || row_ptr.(n) <> Array.length col || Array.length col <> Array.length value
+  then invalid_arg "Sparse.of_sorted_rows: row_ptr/col/value mismatch";
+  for i = 0 to n - 1 do
+    if row_ptr.(i + 1) < row_ptr.(i) then invalid_arg "Sparse.of_sorted_rows: row_ptr not monotone";
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      if col.(k) < 0 || col.(k) >= n then invalid_arg "Sparse.of_sorted_rows: column out of range";
+      if k > row_ptr.(i) && col.(k) <= col.(k - 1) then
+        invalid_arg "Sparse.of_sorted_rows: row columns not strictly increasing"
+    done
+  done;
+  { n; row_ptr; col; value }
+
 let of_symmetric_entries n entries =
   let mirrored =
     List.concat_map

@@ -78,3 +78,22 @@ val check : t -> (unit, string) result
 
 val events : t -> event list
 (** Completed events in recording order (spans appear at completion). *)
+
+(** {1 Flamegraph-style aggregation} *)
+
+type agg = {
+  agg_name : string;
+  count : int;  (** Completed spans bearing this name. *)
+  total : int;  (** Summed durations (virtual time). *)
+  self : int;
+      (** [total] minus the durations of each span's {e direct} children
+          — what the span spent outside nested spans. Summed over every
+          nesting level, self times partition the traced time exactly. *)
+}
+
+val aggregate : t -> agg list
+(** Per-span-name totals across all tracks, sorted by name. Nesting is
+    reconstructed from the recorded intervals (per track, a span's
+    parent is the innermost enclosing interval), so phase layouts built
+    with {!set_base} aggregate correctly. Instants and samples are
+    ignored. *)

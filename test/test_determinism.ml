@@ -87,6 +87,55 @@ let test_repair_stats () =
   Alcotest.(check bool) "repair stats identical" true (a = b);
   Alcotest.(check bool) "repair converged" true a.Dist.converged
 
+(* Representation independence: the full engine + protocol-replay
+   pipeline re-run from the same seeds, but with the seed graph held on
+   the OTHER backend, must delete the same victims, heal to the same
+   graph, charge the same totals, and replay its repairs to
+   byte-identical Chrome-trace exports. The engine inherits the seed
+   graph's backend (Ownership.of_black_graph uses Graph.create_like),
+   so this drives every hot consumer — splice/combine loops, spectral
+   sweeps, the replayed protocols — through both representations. *)
+let pipeline backend =
+  let rng = rng 314 in
+  let seed_graph = Graph.with_backend backend (Gen.random_regular ~rng 20 4) in
+  let engine_obs = Xheal_obs.Scope.create () in
+  let net_obs = Xheal_obs.Scope.create () in
+  let eng =
+    Xheal_core.Xheal.create ~obs:engine_obs ~rng:(Random.State.make [| 315 |]) seed_graph
+  in
+  let atk = Random.State.make [| 316 |] in
+  let prng = Random.State.make [| 317 |] in
+  let messages = ref 0 and converged = ref true in
+  for _ = 1 to 8 do
+    let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
+    let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+    Xheal_core.Xheal.delete eng v;
+    let s =
+      Xheal_distributed.Replay.deletion ~rng:prng ~obs:net_obs ~max_rounds:4_000 ~d:2
+        (Xheal_core.Xheal.last_ops eng)
+    in
+    messages := !messages + s.Dist.messages;
+    converged := !converged && s.Dist.converged
+  done;
+  ( Xheal_core.Xheal.graph eng,
+    Xheal_core.Xheal.totals eng,
+    (!messages, !converged),
+    Xheal_obs.Chrome_trace.to_string engine_obs.Xheal_obs.Scope.tracer,
+    Xheal_obs.Chrome_trace.to_string net_obs.Xheal_obs.Scope.tracer )
+
+let test_backend_independence () =
+  let gh, th, rh, eh, nh = pipeline Graph.Hash in
+  let gc, tc, rc, ec, nc = pipeline Graph.Csr in
+  Alcotest.(check bool) "ran on distinct backends" true
+    (Graph.backend gh = Graph.Hash && Graph.backend gc = Graph.Csr);
+  Alcotest.(check bool) "healed graphs equal" true (Graph.equal gh gc);
+  Alcotest.(check bool) "healed graphs non-trivial" true (Graph.num_edges gh > 0);
+  Alcotest.(check bool) "cost totals identical" true (th = tc);
+  Alcotest.(check (pair int bool)) "replay stats identical" rh rc;
+  Alcotest.(check string) "engine trace byte-identical" eh ec;
+  Alcotest.(check string) "replay trace byte-identical" nh nc;
+  Alcotest.(check bool) "replay trace non-trivial" true (String.length nh > 200)
+
 let suite =
   [
     ( "e2e-determinism",
@@ -97,5 +146,7 @@ let suite =
           test_election_transcript;
         Alcotest.test_case "composite repair stats replay identically" `Quick
           test_repair_stats;
+        Alcotest.test_case "pipeline is backend-independent (hash vs CSR)" `Quick
+          test_backend_independence;
       ] );
   ]

@@ -98,6 +98,58 @@ let test_of_edges_with_isolated () =
   let g = Graph.of_edges ~nodes:[ 9; 10 ] [ (0, 1) ] in
   Alcotest.(check (list int)) "isolated present" [ 0; 1; 9; 10 ] (Graph.nodes g)
 
+(* Micro-regressions for the internal edge counter (g.m): it is cached,
+   not derived, so every interleaving of add/remove has to keep it in
+   lockstep with the listed edges — including remove-then-re-add of the
+   same node (a stale CSR slot / stale adjacency entry would double- or
+   under-count) and removing the current maximum id. Run verbatim on
+   both backends. *)
+let counter_checks backend name =
+  let g = Graph.create ~backend () in
+  let m label expected =
+    Alcotest.(check int) (name ^ ": " ^ label) expected (Graph.num_edges g);
+    Alcotest.(check int)
+      (name ^ ": " ^ label ^ " (listed)")
+      expected
+      (List.length (Graph.edges g));
+    check_inv g (name ^ ": " ^ label)
+  in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 2);
+  ignore (Graph.add_edge g 2 0);
+  m "triangle" 3;
+  (* Removing a node drops exactly its incident edges. *)
+  Graph.remove_node g 1;
+  m "hub removed" 1;
+  (* Re-adding the removed node must start it from degree 0: stale
+     adjacency would corrupt the counter on the next add. *)
+  ignore (Graph.add_edge g 1 0);
+  ignore (Graph.add_edge g 1 2);
+  m "re-added" 3;
+  Alcotest.(check (list int)) (name ^ ": re-added nbrs") [ 0; 2 ] (Graph.neighbors g 1);
+  (* Duplicate adds and absent removes are no-ops on the counter. *)
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.remove_edge g 0 9);
+  m "no-ops" 3;
+  (* Removing the maximum id must re-derive max_node from survivors. *)
+  ignore (Graph.add_edge g 2 7);
+  Alcotest.(check (option int)) (name ^ ": max") (Some 7) (Graph.max_node g);
+  Graph.remove_node g 7;
+  Alcotest.(check (option int)) (name ^ ": max recomputed") (Some 2) (Graph.max_node g);
+  m "max removed" 3;
+  (* Tear down edge by edge to zero, then rebuild. *)
+  ignore (Graph.remove_edge g 0 1);
+  ignore (Graph.remove_edge g 1 0) (* already gone, symmetric form *);
+  ignore (Graph.remove_edge g 1 2);
+  ignore (Graph.remove_edge g 0 2);
+  m "torn down" 0;
+  ignore (Graph.add_edge g 0 2);
+  m "rebuilt" 1
+
+let test_counter_hash () = counter_checks Graph.Hash "hash"
+
+let test_counter_csr () = counter_checks Graph.Csr "csr"
+
 let prop_random_ops =
   QCheck.Test.make ~name:"random op sequences keep invariants" ~count:60
     QCheck.(list (pair (int_bound 15) (int_bound 15)))
@@ -135,6 +187,10 @@ let suite =
         Alcotest.test_case "induced subgraph" `Quick test_sub;
         Alcotest.test_case "union_into" `Quick test_union_into;
         Alcotest.test_case "of_edges isolated nodes" `Quick test_of_edges_with_isolated;
+        Alcotest.test_case "edge counter micro-regressions (hash)" `Quick
+          test_counter_hash;
+        Alcotest.test_case "edge counter micro-regressions (CSR)" `Quick
+          test_counter_csr;
         QCheck_alcotest.to_alcotest prop_random_ops;
         QCheck_alcotest.to_alcotest prop_edge_count;
       ] );

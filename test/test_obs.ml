@@ -117,6 +117,82 @@ let test_set_base () =
   | [ { Tracer.ts = 0; _ }; { Tracer.ts = 4; data = Tracer.Span { dur = 3 }; _ } ] -> ()
   | _ -> Alcotest.fail "base offset not applied"
 
+(* ---------- Tracer.aggregate: flamegraph-style totals ---------- *)
+
+let agg_of name aggs =
+  match List.find_opt (fun a -> a.Tracer.agg_name = name) aggs with
+  | Some a -> (a.Tracer.count, a.Tracer.total, a.Tracer.self)
+  | None -> Alcotest.failf "no aggregate row for %S" name
+
+let test_aggregate_nesting () =
+  let tr = Tracer.create () in
+  (* outer [0,10] wraps inner [2,5] and inner [6,8]; a second outer
+     [20,24] has no children. Self(outer) = 10-5 + 4 = 9. *)
+  Tracer.begin_span tr ~track:0 ~name:"outer" ~now:0;
+  Tracer.begin_span tr ~track:0 ~name:"inner" ~now:2;
+  Tracer.end_span tr ~track:0 ~now:5;
+  Tracer.begin_span tr ~track:0 ~name:"inner" ~now:6;
+  Tracer.end_span tr ~track:0 ~now:8;
+  Tracer.end_span tr ~track:0 ~now:10;
+  Tracer.begin_span tr ~track:0 ~name:"outer" ~now:20;
+  Tracer.end_span tr ~track:0 ~now:24;
+  (* Instants and samples are ignored by the aggregation. *)
+  Tracer.instant tr ~track:0 ~name:"noise" ~now:3;
+  Tracer.sample tr ~track:0 ~name:"noise" ~now:4 ~value:9;
+  let aggs = Tracer.aggregate tr in
+  Alcotest.(check (list string)) "rows sorted by name, spans only" [ "inner"; "outer" ]
+    (List.map (fun a -> a.Tracer.agg_name) aggs);
+  Alcotest.(check (triple int int int)) "inner totals" (2, 5, 5) (agg_of "inner" aggs);
+  Alcotest.(check (triple int int int)) "outer totals" (2, 14, 9) (agg_of "outer" aggs)
+
+let test_aggregate_depth_and_tracks () =
+  let tr = Tracer.create () in
+  (* Track 0: a [0,10] > b [1,9] > c [2,4] — only DIRECT children count
+     against self: self(a) = 10-8 = 2, self(b) = 8-2 = 6. *)
+  Tracer.begin_span tr ~track:0 ~name:"a" ~now:0;
+  Tracer.begin_span tr ~track:0 ~name:"b" ~now:1;
+  Tracer.begin_span tr ~track:0 ~name:"c" ~now:2;
+  Tracer.end_span tr ~track:0 ~now:4;
+  Tracer.end_span tr ~track:0 ~now:9;
+  Tracer.end_span tr ~track:0 ~now:10;
+  (* Track 1: an overlapping-in-time "a" [3,7] must NOT nest under
+     track 0's spans — tracks aggregate independently. *)
+  Tracer.begin_span tr ~track:1 ~name:"a" ~now:3;
+  Tracer.end_span tr ~track:1 ~now:7;
+  let aggs = Tracer.aggregate tr in
+  Alcotest.(check (triple int int int)) "a across tracks" (2, 14, 6) (agg_of "a" aggs);
+  Alcotest.(check (triple int int int)) "b direct child only" (1, 8, 6) (agg_of "b" aggs);
+  Alcotest.(check (triple int int int)) "c leaf" (1, 2, 2) (agg_of "c" aggs)
+
+let test_aggregate_phases_and_zero () =
+  let tr = Tracer.create () in
+  (* Two phases laid out with set_base, each wrapping the same protocol
+     span name; recording order alone (completion order) would nest
+     phase2 under phase1 without the interval reconstruction. *)
+  Tracer.begin_span tr ~track:0 ~name:"phase1" ~now:0;
+  Tracer.begin_span tr ~track:0 ~name:"proto" ~now:1;
+  Tracer.end_span tr ~track:0 ~now:4;
+  Tracer.end_span tr ~track:0 ~now:5;
+  Tracer.set_base tr 5;
+  Tracer.begin_span tr ~track:0 ~name:"phase2" ~now:0;
+  Tracer.begin_span tr ~track:0 ~name:"proto" ~now:0;
+  Tracer.end_span tr ~track:0 ~now:2;
+  (* A zero-duration span still counts an occurrence. *)
+  Tracer.begin_span tr ~track:0 ~name:"blip" ~now:3;
+  Tracer.end_span tr ~track:0 ~now:3;
+  Tracer.end_span tr ~track:0 ~now:3;
+  let aggs = Tracer.aggregate tr in
+  Alcotest.(check (triple int int int)) "phase1" (1, 5, 2) (agg_of "phase1" aggs);
+  Alcotest.(check (triple int int int)) "phase2" (1, 3, 1) (agg_of "phase2" aggs);
+  Alcotest.(check (triple int int int)) "proto summed across phases" (2, 5, 5)
+    (agg_of "proto" aggs);
+  Alcotest.(check (triple int int int)) "zero-duration span" (1, 0, 0)
+    (agg_of "blip" aggs);
+  (* Self times partition the traced time exactly: sum(self) =
+     sum of top-level durations (5 + 3). *)
+  let total_self = List.fold_left (fun acc a -> acc + a.Tracer.self) 0 aggs in
+  Alcotest.(check int) "self times partition the timeline" 8 total_self
+
 (* ---------- Chrome-trace export shape ---------- *)
 
 let test_chrome_export () =
@@ -260,6 +336,12 @@ let suite =
         Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
         Alcotest.test_case "span nesting and orphans" `Quick test_span_nesting;
         Alcotest.test_case "set_base offsets phases" `Quick test_set_base;
+        Alcotest.test_case "aggregate: nesting and self times" `Quick
+          test_aggregate_nesting;
+        Alcotest.test_case "aggregate: depth, tracks are independent" `Quick
+          test_aggregate_depth_and_tracks;
+        Alcotest.test_case "aggregate: set_base phases and zero-duration" `Quick
+          test_aggregate_phases_and_zero;
         Alcotest.test_case "chrome trace export shape" `Quick test_chrome_export;
         Alcotest.test_case "per-type stats source from registry" `Quick
           test_per_type_consistency;

@@ -99,5 +99,34 @@ let prop_grind =
       ignore (Driver.run ~on_step driver strat ~steps:26);
       !sound)
 
+(* Representation independence as a property: the same seed and the same
+   churn schedule, with the initial graph held on hash vs CSR backends,
+   must drive the adversary to identical events and the healer to an
+   identical healed graph. Any hash-order leak into engine decisions
+   breaks this long before it breaks a single-backend run. *)
+let prop_backend_independent =
+  QCheck.Test.make ~name:"healed graph is backend-independent" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let run backend =
+        let rng = Random.State.make [| seed |] in
+        let initial = Graph.with_backend backend (Gen.connected_er ~rng 18 0.2) in
+        let driver = Driver.init (Xheal_core.Xheal.factory ()) ~rng initial in
+        let atk = Random.State.make [| seed + 77 |] in
+        let churn = Strategy.churn ~rng:atk ~insert_prob:0.4 ~attach:3 ~first_id:500 () in
+        ignore (Driver.run driver churn ~steps:30);
+        driver
+      in
+      let h = run Graph.Hash and c = run Graph.Csr in
+      Graph.backend (Driver.graph h) = Graph.Hash
+      && Graph.backend (Driver.graph c) = Graph.Csr
+      && Graph.equal (Driver.graph h) (Driver.graph c)
+      && Graph.equal (Driver.gprime h) (Driver.gprime c))
+
 let suite =
-  [ ("xheal-properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) (tests @ [ prop_grind ])) ]
+  [
+    ( "xheal-properties",
+      List.map
+        (fun t -> QCheck_alcotest.to_alcotest t)
+        (tests @ [ prop_grind; prop_backend_independent ]) );
+  ]
