@@ -6,6 +6,13 @@ type 'a t = {
 
 let create () = { parent = Hashtbl.create 16; size = Hashtbl.create 16; order = [] }
 
+(* Structural equality on keys is this container's contract: callers
+   instantiate it at int, string and small constant-ish variants
+   (xheal.ml's Nodek/Cloudk), never at functional or cyclic types. The
+   one polymorphic (=) lives here so the exemption is a single audited
+   site. *)
+let same_key (a : 'a) (b : 'a) = a = b (* xlint: disable=D4 *)
+
 let ensure t x =
   if not (Hashtbl.mem t.parent x) then begin
     Hashtbl.replace t.parent x x;
@@ -15,7 +22,7 @@ let ensure t x =
 
 let rec find_root t x =
   let p = Hashtbl.find t.parent x in
-  if p = x then x
+  if same_key p x then x
   else begin
     let root = find_root t p in
     Hashtbl.replace t.parent x root;
@@ -28,14 +35,14 @@ let find t x =
 
 let union t x y =
   let rx = find t x and ry = find t y in
-  if rx <> ry then begin
+  if not (same_key rx ry) then begin
     let sx = Hashtbl.find t.size rx and sy = Hashtbl.find t.size ry in
     let big, small = if sx >= sy then (rx, ry) else (ry, rx) in
     Hashtbl.replace t.parent small big;
     Hashtbl.replace t.size big (sx + sy)
   end
 
-let same t x y = find t x = find t y
+let same t x y = same_key (find t x) (find t y)
 
 let groups t =
   let by_root = Hashtbl.create 16 in

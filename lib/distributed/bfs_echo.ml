@@ -167,9 +167,10 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
               else if !parent = Some src then out := (src, Msg.Accept) :: !out
               else out := (src, Msg.Reject) :: !out
             | Msg.Accept -> Hashtbl.replace status src Child
-            | Msg.Reject ->
-              if Hashtbl.find_opt status src <> Some Child then
-                Hashtbl.replace status src NonChild
+            | Msg.Reject -> (
+              match Hashtbl.find_opt status src with
+              | Some Child -> ()
+              | _ -> Hashtbl.replace status src NonChild)
             | Msg.Subtree addrs ->
               if quorum then begin
                 if
@@ -241,7 +242,11 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
           let complete =
             unresolved = []
             && List.for_all
-                 (fun v -> Hashtbl.find_opt status v <> Some Child || Hashtbl.mem subtree v)
+                 (fun v ->
+                   (match Hashtbl.find_opt status v with
+                   | Some Child -> false
+                   | _ -> true)
+                   || Hashtbl.mem subtree v)
                  others
           in
           if complete then begin

@@ -2,6 +2,11 @@ let log2_ceil m =
   let rec go acc p = if p >= m then acc else go (acc + 1) (2 * p) in
   if m <= 1 then 0 else go 0 1
 
+(* Lexicographic order on (rank, id) duel tickets, spelled out so the
+   tiebreak is explicit rather than polymorphic compare at a tuple. *)
+let beats ((rank : int), (cand : int)) (rank', cand') =
+  rank > rank' || (rank = rank' && cand > cand')
+
 (* Largest k with 2^k dividing i (i > 0). *)
 let valuation i =
   let rec go k i = if i land 1 = 1 then k else go (k + 1) (i lsr 1) in
@@ -25,7 +30,7 @@ let install ~rng net participants =
           (fun (_, msg) ->
             match msg with
             | Msg.Challenge { rank; candidate } ->
-              if (rank, candidate) > !champion then champion := (rank, candidate)
+              if beats (rank, candidate) !champion then champion := (rank, candidate)
             | Msg.Victory { leader; _ } -> elected := Some leader
             | _ -> ())
           inbox;
@@ -123,7 +128,7 @@ let install_robust ~rng ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.non
           Hashtbl.fold (* xlint: order-independent *)
             (fun candidate (rank, seen) best ->
               if seen < 2 || Hashtbl.mem liars candidate then best
-              else if (rank, candidate) > best then (rank, candidate)
+              else if beats (rank, candidate) best then (rank, candidate)
               else best)
             commits my_rank
       in
@@ -192,7 +197,7 @@ let install_robust ~rng ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.non
                   | None -> Hashtbl.replace commits candidate (rank, 1)
                 end
               end
-              else if (rank, candidate) > !champion then champion := (rank, candidate);
+              else if beats (rank, candidate) !champion then champion := (rank, candidate);
               Hashtbl.replace heard src ()
             | Msg.Victory { leader; _ } ->
               if not defense.Defense.victory_echo then begin

@@ -1,3 +1,6 @@
+(* Binary-heap event queue under every Netsim run: whole module hot —
+   the H-rules keep push/pop allocation-free beyond heap doubling. *)
+(* xlint: hot *)
 type 'a entry = { time : int; seq : int; payload : 'a }
 
 type 'a t = { mutable heap : 'a entry array; mutable len : int }

@@ -378,6 +378,7 @@ type packed = {
 }
 
 (* Binary search in a sorted id array (always present). *)
+(* xlint: hot *)
 let packed_index p u =
   let a = p.p_ids in
   let lo = ref 0 and hi = ref (Array.length a) in
@@ -388,6 +389,7 @@ let packed_index p u =
   if !lo < Array.length a && a.(!lo) = u then !lo
   else invalid_arg "Graph.packed_index: node not in packed view"
 
+(* xlint: hot *)
 let pack g =
   let ids = Array.make g.n 0 in
   let k = ref 0 in

@@ -1,13 +1,20 @@
 (* BFS cores run on the packed CSR view ({!Graph.pack}): flat int-array
    queue and distance map, rows scanned straight out of [cols] — no
    per-visit hashing or list allocation, and neighbour expansion in
-   ascending (canonical) order, identical across graph backends. *)
+   ascending (canonical) order, identical across graph backends. The
+   flat cores (bfs_core, num_components, is_connected, eccentricity,
+   diameter) are hot regions: the H-rules keep their loops
+   allocation-free. The list-returning traversals (components,
+   shortest_path, articulation_points, ...) build their results by
+   nature and are deliberately unmarked. *)
 
 (* One BFS from packed index [src]. [dist] must hold [-1] at every
    unvisited entry; [dist]/[parent] are written in place and [queue]
    ends up holding the visit order. Returns the number of nodes
    reached. *)
-let bfs_core (p : Graph.packed) dist parent queue src =
+(* A marker above this first binding would read as module-level; on the
+   binding's own line it scopes the hot region to bfs_core alone. *)
+let bfs_core (p : Graph.packed) dist parent queue src = (* xlint: hot *)
   let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
   queue.(!tail) <- src;
@@ -88,6 +95,7 @@ let components g =
   done;
   List.rev !comps
 
+(* xlint: hot *)
 let num_components g =
   let p = Graph.pack g in
   let n = Array.length p.Graph.p_ids in
@@ -101,6 +109,7 @@ let num_components g =
   done;
   !count
 
+(* xlint: hot *)
 let is_connected g =
   let p = Graph.pack g in
   let n = Array.length p.Graph.p_ids in
@@ -109,6 +118,7 @@ let is_connected g =
   let d = Array.make n (-1) and par = Array.make n (-1) and q = Array.make n 0 in
   bfs_core p d par q 0 = n
 
+(* xlint: hot *)
 let eccentricity g s =
   if not (Graph.has_node g s) then None
   else begin
@@ -125,6 +135,7 @@ let eccentricity g s =
     end
   end
 
+(* xlint: hot *)
 let diameter g =
   let p = Graph.pack g in
   let n = Array.length p.Graph.p_ids in

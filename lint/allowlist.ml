@@ -7,12 +7,24 @@
      D2 lib/graph/graph.ml:14       — one line
      *  lib/vendored/               — any rule, directory prefix
 
-   Paths are repo-relative, exactly as xlint prints them. *)
+   Paths are repo-relative, exactly as xlint prints them. Every entry
+   must still match at least one finding of a full run: stale entries
+   (the finding they silenced is gone) are themselves reported as [A1]
+   findings by the driver, so the allowlist can only shrink in step
+   with the code. *)
 
-type entry = { rule : string; path : string; line : int option }
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  src_line : int; (* line of the entry in the allow file; 0 for synthetic entries *)
+}
+
 type t = entry list
 
-let parse_entry line =
+let entry ?(src_line = 0) ?line rule path = { rule; path; line; src_line }
+
+let parse_entry ?(src_line = 0) line =
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -30,9 +42,9 @@ let parse_entry line =
       let path = String.sub target 0 i in
       let ln = String.sub target (i + 1) (String.length target - i - 1) in
       match int_of_string_opt ln with
-      | Some n -> Ok (Some { rule; path; line = Some n })
+      | Some n -> Ok (Some { rule; path; line = Some n; src_line })
       | None -> Error "malformed line number")
-    | None -> Ok (Some { rule; path = target; line = None }))
+    | None -> Ok (Some { rule; path = target; line = None; src_line }))
   | _ -> Error "expected: RULE PATH[:LINE]"
 
 let load path =
@@ -45,7 +57,7 @@ let load path =
          while true do
            let line = input_line ic in
            incr line_no;
-           match parse_entry line with
+           match parse_entry ~src_line:!line_no line with
            | Ok (Some e) -> entries := e :: !entries
            | Ok None -> ()
            | Error msg -> errors := Printf.sprintf "%s:%d: %s" path !line_no msg :: !errors
@@ -61,12 +73,20 @@ let matches_path entry path =
     && String.length path >= n
     && String.sub path 0 n = entry.path
 
-let allows (t : t) ~rule ~path ~line =
-  List.exists
-    (fun e ->
-      (e.rule = rule || e.rule = "*")
-      && matches_path e path
-      && match e.line with None -> true | Some l -> l = line)
-    t
+let entry_matches e ~rule ~path ~line =
+  (e.rule = rule || e.rule = "*")
+  && matches_path e path
+  && match e.line with None -> true | Some l -> l = line
+
+(* First matching entry, if any — the driver records it as used for
+   stale-entry detection. *)
+let matching (t : t) ~rule ~path ~line =
+  List.find_opt (fun e -> entry_matches e ~rule ~path ~line) t
+
+let allows (t : t) ~rule ~path ~line = matching t ~rule ~path ~line <> None
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s %s%s" e.rule e.path
+    (match e.line with None -> "" | Some l -> ":" ^ string_of_int l)
 
 let empty : t = []

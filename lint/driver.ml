@@ -1,6 +1,7 @@
-(* xlint driver: find sources, parse, run rules, filter suppressions,
-   report.  Everything is deterministic: files are visited in sorted
-   order and findings are sorted by (file, line, col, rule). *)
+(* xlint driver: find sources, parse, (maybe) type, run the rule
+   catalogue, filter suppressions, report. Everything is deterministic:
+   files are visited in sorted order and findings are sorted by
+   (file, line, col, rule). *)
 
 let parse_implementation path =
   let ic = open_in_bin path in
@@ -22,30 +23,83 @@ let parse_error_finding ~path exn =
     | _ -> (1, 0)
   in
   {
-    Rules.rule = "E0";
+    Finding.rule = "E0";
     file = path;
     line;
     col;
+    end_line = line;
     message = Printf.sprintf "cannot parse: %s" (Printexc.to_string exn);
   }
 
+(* The result of linting one file. [raw] is every finding the rules
+   produced (stale-allow detection keys on it); [findings] is what
+   survives pragmas and the allowlist; [used] the allow entries that
+   did real work. *)
+type outcome = {
+  raw : Finding.t list;
+  findings : Finding.t list;
+  used : Allowlist.entry list;
+  typed : bool; (* a typed tree backed the typed rules *)
+}
+
 (* Lint one file. [as_path] is the repo-relative path used for rule
    applicability and reporting; it defaults to [path] and exists so
-   tests can lint a fixture as if it lived under lib/. *)
+   tests can lint a fixture as if it lived under lib/. The typed tree
+   is looked up by the {e real} [path] (cmt side-cars live next to the
+   source), independent of [as_path]. *)
 let lint_file ?(rules = Rules.all) ?(allow = Allowlist.empty) ?as_path path =
   let rel = Option.value ~default:path as_path in
   match parse_implementation path with
-  | exception exn -> [ parse_error_finding ~path:rel exn ]
+  | exception exn ->
+    let f = parse_error_finding ~path:rel exn in
+    { raw = [ f ]; findings = [ f ]; used = []; typed = false }
   | structure ->
     let pragmas = Pragma.scan_file path in
-    let ctx = { Rules.path = rel } in
-    rules
-    |> List.concat_map (fun r -> if r.Rules.applies rel then r.Rules.check ctx structure else [])
-    |> List.filter (fun f ->
-           not (Pragma.disabled pragmas ~line:f.Rules.line ~rule:f.Rules.rule))
-    |> List.filter (fun f ->
-           not (Allowlist.allows allow ~rule:f.Rules.rule ~path:rel ~line:f.Rules.line))
-    |> List.sort Rules.compare_findings
+    let ctx = { Rule.path = rel; hot_lines = Pragma.hot_lines pragmas } in
+    let needs_types =
+      List.exists
+        (fun r ->
+          r.Rule.applies rel
+          && match r.Rule.check with Rule.Typed _ -> true | Rule.Syntactic _ -> false)
+        rules
+    in
+    let tstr = if needs_types then Typedload.for_file ~path structure else None in
+    let raw =
+      rules
+      |> List.concat_map (fun r ->
+             if not (r.Rule.applies rel) then []
+             else
+               match r.Rule.check with
+               | Rule.Syntactic f -> f ctx structure
+               | Rule.Typed { run; fallback } -> (
+                 match tstr with
+                 | Some t -> run ctx t
+                 | None -> (
+                   match fallback with Some f -> f ctx structure | None -> [])))
+      |> List.sort Finding.compare
+    in
+    let unsuppressed =
+      List.filter
+        (fun f ->
+          not
+            (Pragma.disabled pragmas ~line:f.Finding.line ~end_line:f.Finding.end_line
+               ~rule:f.Finding.rule))
+        raw
+    in
+    let used = ref [] in
+    let findings =
+      List.filter
+        (fun f ->
+          match
+            Allowlist.matching allow ~rule:f.Finding.rule ~path:rel ~line:f.Finding.line
+          with
+          | Some e ->
+            if not (List.memq e !used) then used := e :: !used;
+            false
+          | None -> true)
+        unsuppressed
+    in
+    { raw; findings; used = !used; typed = tstr <> None }
 
 let is_ml path = Filename.check_suffix path ".ml"
 
@@ -57,27 +111,73 @@ let rec collect_ml_files path =
   else if is_ml path then [ path ]
   else []
 
-let pp_finding ppf f =
-  Format.fprintf ppf "%s:%d:%d [%s] %s" f.Rules.file f.Rules.line f.Rules.col
-    f.Rules.rule f.Rules.message
+(* ------------------------------------------------------------------ *)
+(* Whole-tree run with stale-allow detection.                         *)
 
-(* Lint every .ml under [dirs]; returns all findings, sorted. *)
-let run ?rules ?allow dirs =
-  dirs
-  |> List.concat_map collect_ml_files
-  |> List.concat_map (fun path -> lint_file ?rules ?allow path)
-  |> List.sort Rules.compare_findings
+type run_result = {
+  all_findings : Finding.t list; (* unsuppressed + synthetic A1, sorted *)
+  files : int;
+  typed_files : int;
+}
 
-let report ppf findings =
-  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) findings;
-  if findings <> [] then
-    Format.fprintf ppf "xlint: %d finding(s)@." (List.length findings)
+(* An allow entry that suppressed nothing across the whole run is
+   itself a finding: the allowlist may only shrink in step with the
+   code (see [Allowlist]). [allow_path] names the file A1 findings
+   point into. *)
+let stale_findings ~allow_path ~used allow =
+  allow
+  |> List.filter (fun (e : Allowlist.entry) ->
+         e.Allowlist.src_line > 0 && not (List.memq e used))
+  |> List.map (fun e ->
+         {
+           Finding.rule = "A1";
+           file = allow_path;
+           line = e.Allowlist.src_line;
+           col = 0;
+           end_line = e.Allowlist.src_line;
+           message =
+             Format.asprintf
+               "stale allow entry \"%a\": it suppresses nothing in this run; delete it"
+               Allowlist.pp_entry e;
+         })
+
+let run ?rules ?(allow = Allowlist.empty) ?(allow_path = "xlint.allow") dirs =
+  let files = dirs |> List.concat_map collect_ml_files in
+  let outcomes = List.map (fun path -> lint_file ?rules ~allow path) files in
+  let used = List.concat_map (fun o -> o.used) outcomes in
+  let findings =
+    List.concat_map (fun o -> o.findings) outcomes
+    @ stale_findings ~allow_path ~used allow
+    |> List.sort Finding.compare
+  in
+  {
+    all_findings = findings;
+    files = List.length files;
+    typed_files = List.length (List.filter (fun o -> o.typed) outcomes);
+  }
+
+let report ppf result =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) result.all_findings;
+  if result.all_findings <> [] then begin
+    let count sev =
+      List.length
+        (List.filter
+           (fun f -> Rules.severity_of f.Finding.rule = sev)
+           result.all_findings)
+    in
+    Format.fprintf ppf "xlint: %d finding(s) (%d error(s), %d warning(s)) in %d file(s), %d typed@."
+      (List.length result.all_findings)
+      (count Finding.Error) (count Finding.Warning) result.files result.typed_files
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fixture self-test: the corpus encodes its expectations in file     *)
-(* names.  [dN_bad*.ml] must produce at least one DN finding and      *)
-(* [dN_good*.ml] must produce none; every fixture is linted as if it  *)
-(* lived at lib/distributed/<name> so all rules are in scope.         *)
+(* names.  [<rule>_bad*.ml] must produce at least one <RULE> finding  *)
+(* and [<rule>_good*.ml] must produce none; every fixture is linted   *)
+(* as if it lived at lib/distributed/<name> so all rules are in       *)
+(* scope.  Fixtures named [*_typed_*] additionally require the typed  *)
+(* tree (direct typing must have succeeded), so a regression in       *)
+(* [Typedload] cannot silently demote them to the syntactic fallback. *)
 
 let fixture_rule name =
   match String.index_opt name '_' with
@@ -93,19 +193,21 @@ let self_test ppf dir =
   let failures = ref 0 in
   let check path =
     let name = Filename.basename path in
-    let findings = lint_file ~as_path:("lib/distributed/" ^ name) path in
+    let o = lint_file ~as_path:("lib/distributed/" ^ name) path in
     let fail fmt =
       incr failures;
       Format.fprintf ppf ("FAIL %s: " ^^ fmt ^^ "@.") name
     in
+    if contains ~sub:"_typed_" name && not o.typed then
+      fail "typed fixture, but no typed tree was available";
     match fixture_rule name with
     | Some rule when contains ~sub:"_bad" name ->
-      if not (List.exists (fun f -> f.Rules.rule = rule) findings) then
-        fail "expected a %s finding, got %d finding(s)" rule (List.length findings)
+      if not (List.exists (fun f -> f.Finding.rule = rule) o.findings) then
+        fail "expected a %s finding, got %d finding(s)" rule (List.length o.findings)
     | Some _ when contains ~sub:"_good" name ->
-      if findings <> [] then begin
+      if o.findings <> [] then begin
         fail "expected no findings:";
-        List.iter (fun f -> Format.fprintf ppf "  %a@." pp_finding f) findings
+        List.iter (fun f -> Format.fprintf ppf "  %a@." Finding.pp f) o.findings
       end
     | _ -> fail "fixture name must look like d1_bad*.ml or d1_good*.ml"
   in

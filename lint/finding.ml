@@ -1,0 +1,34 @@
+(* A single diagnostic. [line]/[col] locate the flagged expression's
+   start (what the reporter prints); [end_line] is the last line of the
+   flagged expression, so a suppression pragma anywhere on the
+   expression's own lines — including a trailing same-line comment after
+   a multi-line application — is honoured. *)
+
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  end_line : int;
+  message : string;
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message

@@ -1,21 +1,38 @@
-(* In-source suppression pragmas.
+(* In-source pragmas.
 
-   A finding on line L is suppressed when line L or line L-1 carries a
-   pragma disabling its rule:
+   A finding whose flagged expression spans lines [S..E] is suppressed
+   when any of lines [S-1 .. E] carries a pragma disabling its rule —
+   the preceding line, the expression's own first line, or (for
+   multi-line expressions) a trailing comment on the line the
+   expression ends:
 
      (* xlint: disable=D2 *)
      (* xlint: disable=D1,D4 *)
      (* xlint: order-independent *)        (alias for disable=D2)
 
+   A hot-path marker hands a region to the H-rule family:
+
+     (* xlint: hot *)
+
+   at the top of the file (before the first definition) marks the whole
+   module hot; on the line preceding a top-level binding it marks just
+   that binding (see [Rules_h]).
+
    Scanning is textual (comments never reach the Parsetree), one pass
-   over the file, no regex dependency. *)
+   over the file, no regex dependency. Every "xlint:" occurrence on a
+   line is honoured, so two pragmas may share a line. *)
 
-type t = (int, string list) Hashtbl.t (* line (1-based) -> disabled rule ids *)
+type t = {
+  disables : (int, string list) Hashtbl.t; (* line (1-based) -> rule ids *)
+  mutable hot_lines : int list; (* lines bearing a hot marker, ascending *)
+}
 
-let find_sub ~sub s =
+let empty () = { disables = Hashtbl.create 8; hot_lines = [] }
+
+let find_sub ~sub ~from s =
   let n = String.length s and m = String.length sub in
   let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
-  go 0
+  go from
 
 let is_token_char c =
   (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
@@ -40,19 +57,27 @@ let rules_of_directive d =
     | _ -> []
 
 let scan_line t ~line_no line =
-  match find_sub ~sub:"xlint:" line with
-  | None -> ()
-  | Some i -> (
-    match directive_after line (i + String.length "xlint:") with
+  let rec at from =
+    match find_sub ~sub:"xlint:" ~from line with
     | None -> ()
-    | Some d ->
-      let rules = rules_of_directive d in
-      if rules <> [] then
-        let prev = Option.value ~default:[] (Hashtbl.find_opt t line_no) in
-        Hashtbl.replace t line_no (rules @ prev))
+    | Some i ->
+      let next = i + String.length "xlint:" in
+      (match directive_after line next with
+      | None -> ()
+      | Some d ->
+        if d = "hot" then t.hot_lines <- line_no :: t.hot_lines
+        else
+          let rules = rules_of_directive d in
+          if rules <> [] then begin
+            let prev = Option.value ~default:[] (Hashtbl.find_opt t.disables line_no) in
+            Hashtbl.replace t.disables line_no (rules @ prev)
+          end);
+      at next
+  in
+  at 0
 
 let scan_file path =
-  let t = Hashtbl.create 8 in
+  let t = empty () in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -65,8 +90,13 @@ let scan_file path =
            scan_line t ~line_no:!line_no line
          done
        with End_of_file -> ());
+      t.hot_lines <- List.rev t.hot_lines;
       t)
 
-let disabled t ~line ~rule =
-  let at l = match Hashtbl.find_opt t l with Some rs -> List.mem rule rs | None -> false in
-  at line || at (line - 1)
+let hot_lines t = t.hot_lines
+
+let disabled t ~line ~end_line ~rule =
+  let at l = match Hashtbl.find_opt t.disables l with Some rs -> List.mem rule rs | None -> false in
+  let last = max line end_line in
+  let rec any l = l <= last && (at l || any (l + 1)) in
+  any (line - 1)

@@ -1,312 +1,68 @@
-(* xlint rule catalogue.
+(* The assembled rule catalogue.
 
-   Every correctness claim in this repo — the QCheck conformance of the
-   event engine against [Netsim.run_reference], seeded-replay
-   determinism, the experiment tables — assumes runs are bit-reproducible
-   under a seed.  These rules mechanise that discipline:
+   Families:
+   - D (determinism, PR-3 lineage): D1/D3 syntactic, D2/D4/D5 typed
+     with documented syntactic fallbacks ([Rules_d], [Rules_typed]).
+   - C (clock discipline): the two-clock convention ([Rules_c]).
+   - H (hot-path allocation): opt-in via [(* xlint: hot *)]
+     ([Rules_h]).
 
-     D1  no stateful global randomness (use an explicit [Random.State.t])
-     D2  no [Hashtbl.iter]/[Hashtbl.fold] whose result escapes in hash
-         order (canonicalise with a sort, or annotate the site)
-     D3  no wall-clock / OS entropy inside [lib/] (handlers get [~now])
-     D4  no polymorphic compare in [lib/core/] and [lib/distributed/]
-     D5  no [ignore] of an obviously [Result]-typed expression
+   Two pseudo-rules are synthesised by the driver rather than run as
+   checks: E0 (a file failed to parse) and A1 (a stale xlint.allow
+   entry). They appear here so [--explain], severities and the SARIF
+   rule table cover every id a run can emit. *)
 
-   Rules are purely syntactic (Parsetree-level, no typing), so each one
-   documents the approximation it makes. *)
-
-type finding = {
-  rule : string;
-  file : string;
-  line : int;
-  col : int;
-  message : string;
-}
-
-type ctx = { path : string (* repo-relative path, e.g. "lib/graph/graph.ml" *) }
-
-type rule = {
-  id : string;
-  doc : string;
-  applies : string -> bool;
-  check : ctx -> Parsetree.structure -> finding list;
-}
-
-let finding ~ctx ~id loc message =
-  let p = loc.Location.loc_start in
-  {
-    rule = id;
-    file = ctx.path;
-    line = p.Lexing.pos_lnum;
-    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-    message;
-  }
-
-let compare_findings a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
-
-(* ------------------------------------------------------------------ *)
-(* Parsetree helpers.                                                 *)
-
-(* Longident of an identifier expression, as a string list with any
-   leading [Stdlib.] stripped ([Stdlib.compare] and [compare] are the
-   same hazard). *)
-let ident_path e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_ident { txt; _ } -> (
-    match Longident.flatten txt with
-    | "Stdlib" :: (_ :: _ as rest) -> Some rest
-    | path -> Some path
-    | exception _ -> None)
-  | _ -> None
-
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-(* Walk every expression of a structure; [f] also receives the stack of
-   enclosing expressions, innermost first. *)
-let iter_exprs structure f =
-  let stack = ref [] in
-  let expr self e =
-    f ~ancestors:!stack e;
-    stack := e :: !stack;
-    Ast_iterator.default_iterator.expr self e;
-    stack := List.tl !stack
-  in
-  let it = { Ast_iterator.default_iterator with expr } in
-  it.structure it structure
-
-(* Collect findings from a per-expression classifier. *)
-let expr_rule ~id ~doc ~applies classify =
-  let check ctx str =
-    let acc = ref [] in
-    iter_exprs str (fun ~ancestors e ->
-        match classify ~ancestors e with
-        | Some msg -> acc := finding ~ctx ~id e.Parsetree.pexp_loc msg :: !acc
-        | None -> ());
-    List.rev !acc
-  in
-  { id; doc; applies; check }
-
-let everywhere _ = true
-
-(* ------------------------------------------------------------------ *)
-(* D1: stateful global randomness.                                    *)
-(*                                                                    *)
-(* Any [Random.f] draws from (or reseeds) the process-global PRNG,    *)
-(* which makes the draw order depend on unrelated code paths.  Only   *)
-(* the [Random.State] API, threaded explicitly, is replayable.        *)
-
-let d1 =
-  expr_rule ~id:"D1"
-    ~doc:"global Random state (use an explicit Random.State.t)"
-    ~applies:everywhere
-    (fun ~ancestors:_ e ->
-      match ident_path e with
-      | Some ("Random" :: rest) when rest <> [] -> (
-        match rest with
-        | "State" :: _ -> None
-        | f :: _ ->
-          Some
-            (Printf.sprintf
-               "Random.%s uses the global PRNG; thread an explicit Random.State.t instead"
-               f)
-        | [] -> None)
-      | _ -> None)
-
-(* ------------------------------------------------------------------ *)
-(* D2: hash-order escape.                                             *)
-
-let sort_paths =
+let all : Rule.t list =
   [
-    [ "List"; "sort" ];
-    [ "List"; "sort_uniq" ];
-    [ "List"; "stable_sort" ];
-    [ "List"; "fast_sort" ];
-    [ "Array"; "sort" ];
-    [ "Array"; "stable_sort" ];
+    Rules_d.d1;
+    Rules_typed.d2;
+    Rules_d.d3;
+    Rules_typed.d4;
+    Rules_typed.d5;
+    Rules_c.c1;
+    Rules_c.c2;
+    Rules_h.h1;
+    Rules_h.h2;
+    Rules_h.h3;
+    Rules_h.h4;
   ]
 
-(* Operators whose repeated application is order-insensitive, so a fold
-   reducing with one of them is safe even in hash order. *)
-let commutative_ops =
-  [ "+"; "+."; "*"; "*."; "land"; "lor"; "lxor"; "max"; "min"; "&&"; "||" ]
+(* id, severity, doc, explain — for findings the driver synthesises. *)
+let pseudo : (string * Finding.severity * string * string) list =
+  [
+    ( "E0",
+      Finding.Error,
+      "source file failed to parse",
+      "xlint could not parse this file, so no rule ran on it. The finding's \
+       message carries the parser's own error. Fix the syntax error; xlint \
+       never silently skips unparseable files." );
+    ( "A1",
+      Finding.Error,
+      "stale xlint.allow entry",
+      "Every xlint.allow entry must still match at least one raw finding of \
+       a full run. This entry matched none — the finding it silenced is \
+       gone — so it must be deleted. Stale entries otherwise accumulate and \
+       can mask a future regression at the same location. The finding \
+       points at the allow file line to remove." );
+  ]
 
-let rec fun_body e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_fun (_, _, _, body) -> fun_body body
-  | _ -> e
+let find id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all
 
-let is_commutative_reduction fn_arg =
-  match (fun_body fn_arg).Parsetree.pexp_desc with
-  | Parsetree.Pexp_apply (op, _) -> (
-    match ident_path op with
-    | Some path -> (
-      match List.rev path with
-      | last :: _ -> List.mem last commutative_ops
-      | [] -> false)
-    | None -> false)
-  | _ -> false
+let meta id =
+  match find id with
+  | Some r -> Some (r.Rule.severity, r.Rule.doc, r.Rule.explain)
+  | None ->
+    List.find_map
+      (fun (pid, sev, doc, explain) ->
+        if pid = id then Some (sev, doc, explain) else None)
+      pseudo
 
-let is_sort_apply e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_apply (fn, _) -> (
-    match ident_path fn with
-    | Some path -> List.mem path sort_paths
-    | None -> false)
-  | _ -> false
+let severity_of id =
+  match meta id with Some (sev, _, _) -> sev | None -> Finding.Error
 
-let d2 =
-  expr_rule ~id:"D2"
-    ~doc:
-      "Hashtbl.iter/fold result may escape in hash order (sort it, or annotate \
-       (* xlint: order-independent *))"
-    ~applies:everywhere
-    (fun ~ancestors e ->
-      match ident_path e with
-      | Some [ "Hashtbl"; ("iter" | "fold") ] ->
-        (* Exempt when an enclosing expression canonicalises the result
-           with a sort, or when the fold body is a commutative
-           reduction ([max], [+], ...).  Both checks are syntactic and
-           local: a sort applied later via a binding does not count and
-           needs the pragma instead. *)
-        let sorted_above = List.exists is_sort_apply ancestors in
-        let commutative =
-          match ancestors with
-          | outer :: _ -> (
-            match outer.Parsetree.pexp_desc with
-            | Parsetree.Pexp_apply (fn, (_, first) :: _) when fn == e ->
-              is_commutative_reduction first
-            | _ -> false)
-          | [] -> false
-        in
-        if sorted_above || commutative then None
-        else
-          Some
-            "Hashtbl iteration order is unspecified; canonicalise the escaping \
-             result (List.sort) or annotate the site (* xlint: order-independent *)"
-      | _ -> None)
+let explain id = Option.map (fun (_, _, e) -> e) (meta id)
 
-(* ------------------------------------------------------------------ *)
-(* D3: wall-clock and OS entropy inside lib/.                         *)
-(*                                                                    *)
-(* Handlers and library code must be functions of the virtual clock   *)
-(* ([~now]) and the seeded RNG only.  Timing the process is fine in   *)
-(* bin/ and bench/.                                                   *)
-
-let wall_clock_paths =
-  [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ] ]
-
-let d3 =
-  expr_rule ~id:"D3"
-    ~doc:"wall-clock read in lib/ (use the virtual ~now)"
-    ~applies:(has_prefix ~prefix:"lib/")
-    (fun ~ancestors:_ e ->
-      match ident_path e with
-      | Some path when List.mem path wall_clock_paths ->
-        Some
-          (Printf.sprintf
-             "%s reads the wall clock; lib/ code must use the virtual ~now / seeded RNG"
-             (String.concat "." path))
-      | _ -> None)
-
-(* ------------------------------------------------------------------ *)
-(* D4: polymorphic compare in the protocol layers.                    *)
-(*                                                                    *)
-(* Structural compare on tuples/records picks an ordering that is an  *)
-(* accident of field layout, and on abstract types (graphs, tables)   *)
-(* it is simply wrong.  Without types we flag the two syntactically   *)
-(* certain shapes: a bare [compare] value, and [=]/[<>] applied to a  *)
-(* tuple, record, array or list literal.  [x = None]/[Some _] option  *)
-(* tests on atoms are deliberately not flagged.                       *)
-
-let is_structured e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_tuple _ | Parsetree.Pexp_record _ | Parsetree.Pexp_array _ ->
-    true
-  | Parsetree.Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> true
-  | _ -> false
-
-let d4_dirs = [ "lib/core/"; "lib/distributed/" ]
-
-let d4 =
-  expr_rule ~id:"D4"
-    ~doc:
-      "polymorphic compare in lib/core//lib/distributed (use Int.compare, \
-       Edge.compare, or a dedicated comparator)"
-    ~applies:(fun p -> List.exists (fun d -> has_prefix ~prefix:d p) d4_dirs)
-    (fun ~ancestors e ->
-      match ident_path e with
-      | Some ([ "compare" ] | [ "Poly"; _ ]) ->
-        Some
-          "polymorphic compare orders values by memory layout; use a dedicated \
-           comparator (Int.compare, Edge.compare, ...)"
-      | Some [ ("=" | "<>") as op ] ->
-        (* Only when this ident is the function of the enclosing apply
-           and an argument is a structured literal. *)
-        let structured_arg =
-          match ancestors with
-          | outer :: _ -> (
-            match outer.Parsetree.pexp_desc with
-            | Parsetree.Pexp_apply (fn, args) when fn == e ->
-              List.exists (fun (_, a) -> is_structured a) args
-            | _ -> false)
-          | [] -> false
-        in
-        if structured_arg then
-          Some
-            (Printf.sprintf
-               "polymorphic (%s) on a structured value; use a dedicated equality" op)
-        else None
-      | _ -> None)
-
-(* ------------------------------------------------------------------ *)
-(* D5: ignoring a Result.                                             *)
-(*                                                                    *)
-(* Typing is unavailable, so we flag the shapes that are certainly    *)
-(* Results: literal Ok/Error constructions, the Result combinators,   *)
-(* and this repo's known checkers (Graph.check_invariants,            *)
-(* Registry.check, Tables.check, ... named check.../validate...).    *)
-
-let result_returning_names = [ "check"; "check_invariants"; "validate" ]
-let result_combinators = [ "map"; "bind"; "join"; "map_error" ]
-
-let is_result_expr e =
-  match e.Parsetree.pexp_desc with
-  | Parsetree.Pexp_construct ({ txt = Longident.Lident ("Ok" | "Error"); _ }, Some _)
-    ->
-    true
-  | Parsetree.Pexp_apply (fn, _) -> (
-    match ident_path fn with
-    | Some [ "Result"; f ] -> List.mem f result_combinators
-    | Some path -> (
-      match List.rev path with
-      | last :: _ -> List.mem last result_returning_names
-      | [] -> false)
-    | None -> false)
-  | _ -> false
-
-let d5 =
-  expr_rule ~id:"D5"
-    ~doc:"ignore of a Result-typed expression (match on it instead)"
-    ~applies:everywhere
-    (fun ~ancestors:_ e ->
-      match e.Parsetree.pexp_desc with
-      | Parsetree.Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ]) -> (
-        match ident_path fn with
-        | Some [ "ignore" ] when is_result_expr arg ->
-          Some
-            "this expression is a Result; ignoring it swallows the Error case — \
-             match on it"
-        | _ -> None)
-      | _ -> None)
-
-let all = [ d1; d2; d3; d4; d5 ]
+(* Every id a run can emit, catalogue order then pseudo. *)
+let ids =
+  List.map (fun (r : Rule.t) -> r.Rule.id) all
+  @ List.map (fun (i, _, _, _) -> i) pseudo

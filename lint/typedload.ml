@@ -1,0 +1,95 @@
+(* Typed-tree loading for the typed rule families.
+
+   Two strategies, tried in order:
+
+   1. {b cmt files}. When xlint runs from the build tree (the @lint
+      alias executes in [_build/default], after [(alias_rec check)] has
+      compiled everything), every source [dir/foo.ml] has a sibling
+      [dir/.<lib>.objs/byte/<Lib>__Foo.cmt] (or [.eobjs] for
+      executables) whose [cmt_sourcefile] is the repo-relative source
+      path. We index each directory's cmt side-car once and match by
+      source path, so the walk sees exactly the tree the compiler
+      typed — module aliases, wrapped names and all.
+
+   2. {b direct typing}. Files with no cmt (the fixture corpus, or a
+      tree linted outside the build dir) are typed from scratch against
+      the stdlib-only initial environment. Self-contained fixtures type
+      fine; real library files referencing workspace modules fail fast
+      and fall back to the syntactic rule variants, which document
+      their approximations.
+
+   Every failure path degrades to [None]; typed rules then run their
+   syntactic fallback (if any), so a missing or stale cmt can weaken a
+   rule back to PR-3 precision but never crash the lint. *)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy 1: cmt side-cars.                                         *)
+
+let is_objs_dir name =
+  String.length name > 1 && name.[0] = '.'
+  && (Filename.check_suffix name ".objs" || Filename.check_suffix name ".eobjs")
+
+(* Directory -> (source basename -> typed structure). Populated lazily,
+   one read per cmt per process. *)
+let dir_cache : (string, (string, Typedtree.structure) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let read_cmt_structure path =
+  match Cmt_format.read_cmt path with
+  | { Cmt_format.cmt_annots = Cmt_format.Implementation str; cmt_sourcefile; _ } ->
+    Option.map (fun src -> (Filename.basename src, str)) cmt_sourcefile
+  | _ -> None
+  | exception _ -> None
+
+let index_dir dir =
+  match Hashtbl.find_opt dir_cache dir with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    (try
+       Sys.readdir dir |> Array.to_list |> List.sort String.compare
+       |> List.iter (fun name ->
+              if is_objs_dir name then begin
+                let byte = Filename.concat (Filename.concat dir name) "byte" in
+                if Sys.file_exists byte && Sys.is_directory byte then
+                  Sys.readdir byte |> Array.to_list |> List.sort String.compare
+                  |> List.iter (fun f ->
+                         if Filename.check_suffix f ".cmt" then
+                           match read_cmt_structure (Filename.concat byte f) with
+                           | Some (base, str) ->
+                             if not (Hashtbl.mem tbl base) then Hashtbl.add tbl base str
+                           | None -> ())
+              end)
+     with Sys_error _ -> ());
+    Hashtbl.add dir_cache dir tbl;
+    tbl
+
+let from_cmt path =
+  let tbl = index_dir (Filename.dirname path) in
+  Hashtbl.find_opt tbl (Filename.basename path)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy 2: direct typing against the initial environment.         *)
+
+let initial_env =
+  lazy
+    (Clflags.dont_write_files := true;
+     (* The fixture corpus deliberately contains smelly code; compiler
+        warnings (and the 5.x auto-include alert init_path triggers)
+        are not xlint's output. *)
+     ignore (Warnings.parse_options false "-a");
+     (try Warnings.parse_alert_option "-all" with _ -> ());
+     Compmisc.init_path ();
+     Compmisc.initial_env ())
+
+let type_source parsed =
+  match Typemod.type_structure (Lazy.force initial_env) parsed with
+  | tstr, _, _, _, _ -> Some tstr
+  | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let for_file ~path parsed =
+  match from_cmt path with
+  | Some str -> Some str
+  | None -> type_source parsed

@@ -1,0 +1,4 @@
+(* C1: one binding must not claim both clocks. *)
+let record tracer =
+  Tracer.claim_clock tracer "engine-rounds";
+  Tracer.claim_clock tracer "net-virtual"

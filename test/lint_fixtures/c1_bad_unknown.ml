@@ -1,0 +1,2 @@
+(* C1: the clock name must be one of the two known clocks. *)
+let record tracer = Tracer.claim_clock tracer "wall-clock"

@@ -1,0 +1,3 @@
+(* C1: one clock per binding is the discipline. *)
+let record_engine tracer = Tracer.claim_clock tracer "engine-rounds"
+let record_net tracer = Tracer.claim_clock tracer "net-virtual"

@@ -1,0 +1,5 @@
+(* C2: a ~now-clocked handler lives on net-virtual time; claiming the
+   engine clock inside it is a cross-clock flow. *)
+let handler ~now tracer =
+  let _ = now in
+  Tracer.claim_clock tracer "engine-rounds"

@@ -1,0 +1,4 @@
+(* C2: virtual-time [now] must not flow into an engine-rounds charge. *)
+let handler ~now ~inbox:_ =
+  Cost.add_phase ~label:"probe" ~rounds:now ~messages:0;
+  []

@@ -1,0 +1,4 @@
+(* C2: measured pricing is the sanctioned bridge between the clocks —
+   add_measured_phase is deliberately exempt. *)
+let handler ~now stats =
+  Cost.add_measured_phase ~label:"protocol" ~rounds:now stats

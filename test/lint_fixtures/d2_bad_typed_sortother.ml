@@ -1,0 +1,9 @@
+(* Typed D2: the enclosing sort canonicalises [ys], not the fold's
+   escaping result — the syntactic pass accepted any lexically
+   enclosing sort; the typed rule checks the fold sits inside the
+   sort's data argument. *)
+let f (tbl : (int, int) Hashtbl.t) ys =
+  List.sort
+    (fun a b ->
+      Int.compare (a + List.length (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])) b)
+    ys

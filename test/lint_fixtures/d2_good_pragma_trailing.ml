@@ -1,0 +1,8 @@
+(* A trailing pragma on the last line of a multi-line flagged
+   application is honoured: the finding's span covers the whole
+   enclosing apply, so the suppression range reaches its end line. *)
+let collect tbl =
+  Hashtbl.fold
+    (fun k v acc -> (k, v) :: acc)
+    tbl
+    [] (* xlint: order-independent *)

@@ -1,0 +1,3 @@
+(* Typed D4: comparison of tuple-typed variables — invisible to the
+   syntactic literal-shape heuristic, caught by the instantiation type. *)
+let lex_le (a : int * int) b = a <= b

@@ -1,0 +1,4 @@
+(* Typed D4: polymorphic compare instantiated at an atomic type is
+   deterministic — the syntactic pass flagged every bare [compare]. *)
+let sorted (xs : int list) = List.sort compare xs
+let max_of (a : int) b = if compare a b > 0 then a else b

@@ -1,0 +1,6 @@
+(* Typed D5: an ignored Result is flagged whatever the callee is
+   called — the syntactic pass only knew check*/validate* names. *)
+let parse s : (int, string) result =
+  match int_of_string_opt s with Some n -> Ok n | None -> Error "not an int"
+
+let () = ignore (parse "42")

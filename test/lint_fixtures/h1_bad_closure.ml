@@ -1,0 +1,8 @@
+(* H1: a closure allocated on every iteration of a hot loop. *)
+(* xlint: hot *)
+let apply_all fs x =
+  let out = ref x in
+  while !out < 100 do
+    List.iter (fun f -> out := f !out) fs
+  done;
+  !out

@@ -1,0 +1,9 @@
+(* H1: the same loop with the closure hoisted is allocation-free. *)
+(* xlint: hot *)
+let apply_all fs x =
+  let out = ref x in
+  let step f = out := f !out in
+  while !out < 100 do
+    List.iter step fs
+  done;
+  !out

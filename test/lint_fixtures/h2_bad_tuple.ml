@@ -1,0 +1,8 @@
+(* H2: tuple and cons-cell allocation per iteration of a hot loop. *)
+(* xlint: hot *)
+let pairs n =
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    acc := (i, i * i) :: !acc
+  done;
+  !acc

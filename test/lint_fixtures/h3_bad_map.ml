@@ -1,0 +1,8 @@
+(* H3: a list-building combinator called per iteration of a hot loop. *)
+(* xlint: hot *)
+let iterate n xs =
+  let out = ref xs in
+  for _ = 1 to n do
+    out := List.map succ !out
+  done;
+  !out

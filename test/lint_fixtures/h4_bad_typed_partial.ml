@@ -1,0 +1,11 @@
+(* H4 (typed): a partial application in a hot loop allocates a closure
+   capturing the supplied prefix on every iteration. *)
+(* xlint: hot *)
+let weighted_sum weights =
+  let add a b c = a + b + c in
+  let total = ref 0 in
+  for i = 0 to 9 do
+    let bump = add i (List.nth weights i) in
+    total := bump !total
+  done;
+  !total
