@@ -2,7 +2,15 @@
    parseable JSON carrying a wall-clock timing, a mode, and — when a
    phases array is present — well-formed per-phase message counts with
    at least one message recorded. Used by the @bench-smoke alias; exits
-   non-zero with a diagnostic on the first violation. *)
+   non-zero with a diagnostic on the first violation.
+
+   With [--baseline FILE] as the first argument, each validated bench
+   file is additionally compared against the checked-in baseline
+   (schema "xheal-bench-baseline/1"): entries are matched by name+mode,
+   counts are pinned exactly via a structural-subset [expect] fragment,
+   and wall-clock is only banded through an optional [wall_ms_max]
+   ceiling — floats inside [expect] are rejected outright so nobody
+   accidentally pins a timing bit-for-bit. *)
 
 module J = Xheal_obs.Jsonw
 
@@ -143,6 +151,30 @@ let check_phase = function
     messages
   | _ -> fail "phases element is not an object"
 
+(* E16 monitor-overhead row: the bare/monitored engine pair ran the
+   same seeded attack, so identical message totals are the bench-level
+   passivity proof; a monitored run that did no checks (or fired a
+   violation on this standard sweep) is a harness regression. *)
+let check_e16 = function
+  | J.Obj _ as row ->
+    if get_int "n" row <= 0 || get_int "deletions" row <= 0 then
+      fail "e16 cell ran no work";
+    let off = get_int "messages_off" row in
+    let on_ = get_int "messages_on" row in
+    if off <= 0 then fail "e16 bare run carried no messages";
+    if on_ <> off then
+      fail "e16 monitor not passive: %d messages with monitors on vs %d off" on_ off;
+    let checks = get_int "checks" row in
+    if checks <= 0 then fail "e16 monitored run performed no checks";
+    if get_int "events" row < checks then
+      fail "e16 fewer events than checks (%d < %d)" (get_int "events" row) checks;
+    let violations = get_int "violations" row in
+    if violations <> 0 then
+      fail "e16 standard sweep fired %d violation(s)" violations;
+    if not (get_number "wall_off_ms" row >= 0. && get_number "wall_on_ms" row >= 0.)
+    then fail "e16 invalid wall timings"
+  | _ -> fail "e16_monitor is not an object"
+
 let check_file path =
   let json =
     match J.of_string (read_file path) with
@@ -183,15 +215,103 @@ let check_file path =
     List.iter check_e15 rows
   | Some _ -> fail "field \"e15_repricing\" is not an array"
   | None -> ());
-  Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall
+  (match J.member "e16_monitor" json with
+  | Some row -> check_e16 row
+  | None -> ());
+  Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall;
+  json
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison. [expect] is a structural subset of the bench
+   file: every leaf in the fragment must equal the corresponding leaf
+   in the fresh output (ints/bools/strings/null exact; lists matched
+   elementwise at equal length; objects may omit fields). Timings are
+   never matched structurally — only the banded [wall_ms_max]. *)
+
+let rec match_fragment path frag actual =
+  match (frag, actual) with
+  | J.Int a, J.Int b ->
+    if a <> b then fail "baseline mismatch at %s: expected %d, measured %d" path a b
+  | J.Bool a, J.Bool b ->
+    if a <> b then fail "baseline mismatch at %s: expected %b, measured %b" path a b
+  | J.String a, J.String b ->
+    if not (String.equal a b) then
+      fail "baseline mismatch at %s: expected %S, measured %S" path a b
+  | J.Null, J.Null -> ()
+  | J.Float _, _ ->
+    fail "baseline fragment at %s pins a float; pin counts exactly and band timings via wall_ms_max" path
+  | J.List fs, J.List bs ->
+    if List.length fs <> List.length bs then
+      fail "baseline mismatch at %s: expected %d elements, measured %d" path
+        (List.length fs) (List.length bs);
+    List.iteri (fun i f -> match_fragment (Printf.sprintf "%s[%d]" path i) f (List.nth bs i)) fs
+  | J.Obj fs, J.Obj _ ->
+    List.iter
+      (fun (k, f) ->
+        match J.member k actual with
+        | Some a -> match_fragment (path ^ "." ^ k) f a
+        | None -> fail "baseline mismatch at %s.%s: field absent from bench output" path k)
+      fs
+  | _ -> fail "baseline mismatch at %s: value kinds differ" path
+
+let load_baseline path =
+  let json =
+    match J.of_string (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "baseline %s: unparseable JSON: %s" path e
+  in
+  let schema = get_string "schema" json in
+  if not (String.equal schema "xheal-bench-baseline/1") then
+    fail "baseline %s: unknown schema %S" path schema;
+  match get "entries" json with
+  | J.List entries ->
+    List.map (fun e -> (get_string "name" e, get_string "mode" e, e)) entries
+  | _ -> fail "baseline %s: \"entries\" is not an array" path
+
+let check_baseline entries path json =
+  let name = get_string "name" json in
+  let mode = get_string "mode" json in
+  match
+    List.find_opt (fun (n, m, _) -> String.equal n name && String.equal m mode) entries
+  with
+  | None -> fail "%s: no baseline entry for %s/%s" path name mode
+  | Some (_, _, entry) ->
+    (match J.member "expect" entry with
+    | Some frag -> match_fragment name frag json
+    | None -> ());
+    (match J.member "wall_ms_max" entry with
+    | Some ceiling_j ->
+      let ceiling =
+        match ceiling_j with
+        | J.Int i -> float_of_int i
+        | J.Float f -> f
+        | _ -> fail "baseline entry %s/%s: wall_ms_max is not a number" name mode
+      in
+      let wall = get_number "wall_ms" json in
+      if wall > ceiling then
+        fail "%s: wall-clock regression: %.1f ms exceeds baseline ceiling %.1f ms" path
+          wall ceiling
+    | None -> ());
+    Printf.printf "%s: baseline ok (%s/%s)\n" path name mode
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let baseline, files =
+    match args with
+    | "--baseline" :: bl :: rest -> (Some bl, rest)
+    | _ -> (None, args)
+  in
   if files = [] then begin
-    prerr_endline "usage: bench_check FILE.json...";
+    prerr_endline "usage: bench_check [--baseline BASELINE.json] FILE.json...";
     exit 2
   end;
-  try List.iter check_file files
+  try
+    let entries = Option.map load_baseline baseline in
+    List.iter
+      (fun f ->
+        let json = check_file f in
+        match entries with None -> () | Some es -> check_baseline es f json)
+      files
   with Bad msg ->
     Printf.eprintf "bench_check: %s\n" msg;
     exit 1

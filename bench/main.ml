@@ -238,6 +238,61 @@ let scaling_rows ~quick ~huge =
   List.map (fun (n, deletions) -> scaling_cell ~n ~deletions) cells
 
 (* ------------------------------------------------------------------ *)
+(* E16: online-monitor overhead. The same seeded attack twice — once
+   bare, once with the invariant observatory at cadence 1 — so the row
+   carries both the wall-clock premium and a bench-level passivity
+   proof: the engine's message totals must be identical either way
+   (bench_check enforces it, plus checks > 0 and zero violations on
+   this standard sweep). *)
+
+let e16_monitor_row ~quick =
+  let module Monitor = Xheal_obs.Monitor in
+  let n = if quick then 48 else 128 in
+  let deletions = if quick then 12 else 40 in
+  let run with_monitor =
+    let rng = Random.State.make [| 46 |] in
+    let g = Gen.random_regular ~rng n 4 in
+    let monitor =
+      if with_monitor then
+        Some
+          (Monitor.create
+             ~config:{ Monitor.default_config with Monitor.cadence = 1; seed = 46 }
+             g)
+      else None
+    in
+    let eng = Xheal.create ?monitor ~rng g in
+    let atk = Random.State.make [| 47 |] in
+    let (), wall_ms =
+      timed (fun () ->
+          for _ = 1 to deletions do
+            let nodes = Graph.nodes (Xheal.graph eng) in
+            let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+            Xheal.delete eng v
+          done)
+    in
+    ((Xheal.totals eng).Cost.total_messages, monitor, wall_ms)
+  in
+  let messages_off, _, wall_off = run false in
+  let messages_on, monitor, wall_on = run true in
+  let monitor = Option.get monitor in
+  Printf.printf
+    "  e16 monitor overhead: wall %.1f -> %.1f ms, %d checks, %d events, %d violations\n%!"
+    wall_off wall_on (Monitor.checks monitor) (Monitor.num_events monitor)
+    (Monitor.num_violations monitor);
+  Jsonw.Obj
+    [
+      ("n", Jsonw.Int n);
+      ("deletions", Jsonw.Int deletions);
+      ("messages_off", Jsonw.Int messages_off);
+      ("messages_on", Jsonw.Int messages_on);
+      ("wall_off_ms", Jsonw.Float wall_off);
+      ("wall_on_ms", Jsonw.Float wall_on);
+      ("checks", Jsonw.Int (Monitor.checks monitor));
+      ("events", Jsonw.Int (Monitor.num_events monitor));
+      ("violations", Jsonw.Int (Monitor.num_violations monitor));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Scenario: observed end-to-end repair.                              *)
 
 let scenario_repair ~quick ~huge =
@@ -274,12 +329,14 @@ let scenario_repair ~quick ~huge =
   Printf.printf " n=%d deletions=%d replayed messages=%d converged=%b\n" n deletions
     total converged;
   let scaling = scaling_rows ~quick ~huge in
+  let e16 = e16_monitor_row ~quick in
   write_bench ~name:"repair" ~quick ~wall_ms
     [
       ("n", Jsonw.Int n);
       ("deletions", Jsonw.Int deletions);
       ("replayed_messages", Jsonw.Int total);
       ("converged", Jsonw.Bool converged);
+      ("e16_monitor", e16);
       ("scaling", Jsonw.List scaling);
       ("phases", Jsonw.List (phase_rows net_obs.Scope.metrics));
       ( "metrics",

@@ -281,6 +281,114 @@ let trace_cmd =
         (const run $ verbose_flag $ shape $ steps $ seed $ drop $ fairness $ out
        $ metrics_out $ aggregate))
 
+(* ---------- report command ---------- *)
+
+let report_cmd =
+  let shape =
+    Arg.(value & opt shape_conv (`Er (48, 0.1)) & info [ "shape" ] ~docv:"SHAPE" ~doc:"Initial network.")
+  in
+  let steps = Arg.(value & opt int 10 & info [ "steps" ] ~docv:"N" ~doc:"Number of deletions to monitor.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed; same seed, same bytes.") in
+  let cadence =
+    Arg.(value & opt int 1 & info [ "cadence" ] ~docv:"K" ~doc:"Run the guarantee checks every K-th repair.")
+  in
+  let events_out =
+    Arg.(value & opt string "events.jsonl" & info [ "events" ] ~docv:"FILE" ~doc:"Structured event log (one JSON object per line).")
+  in
+  let out =
+    Arg.(value & opt string "report.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Repair-report JSON output file.")
+  in
+  let run verbose shape steps seed cadence events_out out =
+    setup_logs verbose;
+    if cadence < 1 then `Error (false, "cadence must be >= 1")
+    else begin
+      let module Monitor = Xheal_obs.Monitor in
+      let module Metrics = Xheal_obs.Metrics in
+      let module Jsonw = Xheal_obs.Jsonw in
+      let rng = Random.State.make [| seed |] in
+      let initial = build_shape ~rng shape in
+      let cfg = Xheal_core.Config.default in
+      let monitor =
+        Monitor.create
+          ~config:
+            {
+              Monitor.default_config with
+              Monitor.kappa = Xheal_core.Config.kappa cfg;
+              cadence;
+              seed = seed + 5;
+            }
+          initial
+      in
+      let obs = Scope.create () in
+      let eng = Xheal_core.Xheal.create ~cfg ~obs ~monitor ~rng initial in
+      let atk = Random.State.make [| seed + 1 |] in
+      let repairs = ref [] in
+      for _ = 1 to steps do
+        let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
+        if List.length nodes > 4 then begin
+          let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+          Xheal_core.Xheal.delete eng v;
+          Option.iter (fun r -> repairs := r :: !repairs) (Xheal_core.Xheal.last_report eng)
+        end
+      done;
+      let phase_json (p : Cost.phase) =
+        Jsonw.Obj
+          [
+            ("label", Jsonw.String p.Cost.label);
+            ("rounds", Jsonw.Int p.Cost.rounds);
+            ("messages", Jsonw.Int p.Cost.messages);
+          ]
+      in
+      let repair_json (r : Cost.report) =
+        Jsonw.Obj
+          [
+            ("seq", Jsonw.Int r.Cost.seq);
+            ("case", Jsonw.String (Cost.case_to_string r.Cost.case));
+            ("rounds", Jsonw.Int r.Cost.rounds);
+            ("messages", Jsonw.Int r.Cost.messages);
+            ("combined", Jsonw.Bool r.Cost.combined);
+            ("edges_added", Jsonw.Int r.Cost.edges_added);
+            ("edges_removed", Jsonw.Int r.Cost.edges_removed);
+            ("clouds_touched", Jsonw.Int r.Cost.clouds_touched);
+            ("converged", Jsonw.Bool r.Cost.faults.Cost.converged);
+            ("phases", Jsonw.List (List.map phase_json r.Cost.phases));
+          ]
+      in
+      let report =
+        Jsonw.Obj
+          [
+            ("schema", Jsonw.String "xheal-report/1");
+            ("seed", Jsonw.Int seed);
+            ("deletions", Jsonw.Int (List.length !repairs));
+            ("monitor", Monitor.report_json monitor);
+            ("repairs", Jsonw.List (List.rev_map repair_json !repairs));
+            ( "histograms",
+              Jsonw.Obj
+                (List.map
+                   (fun (name, s) -> (name, Metrics.summary_json s))
+                   (Metrics.summaries obs.Scope.metrics)) );
+          ]
+      in
+      let write path s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      write events_out (Monitor.to_jsonl monitor);
+      write out (Jsonw.to_string_pretty report ^ "\n");
+      Format.printf "monitored %d repairs: %d checks, %d events, %d violations@."
+        (Monitor.repairs monitor) (Monitor.checks monitor) (Monitor.num_events monitor)
+        (Monitor.num_violations monitor);
+      Format.printf "wrote %s and %s@." events_out out;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run a seeded deletion attack with the invariant observatory on and export the structured event log plus a per-repair report (deterministic: same seed, byte-identical files).")
+    Term.(
+      ret (const run $ verbose_flag $ shape $ steps $ seed $ cadence $ events_out $ out))
+
 (* ---------- list command ---------- *)
 
 let list_cmd =
@@ -299,6 +407,6 @@ let list_cmd =
 let main =
   let doc = "Xheal: localized self-healing using expanders (PODC 2011 reproduction)" in
   Cmd.group (Cmd.info "xheal_cli" ~version:"1.0.0" ~doc)
-    [ experiments_cmd; attack_cmd; batch_cmd; trace_cmd; list_cmd ]
+    [ experiments_cmd; attack_cmd; batch_cmd; trace_cmd; report_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,7 @@ type t = {
   reg : Registry.t;
   fwd : (int, int) Hashtbl.t; (* dissolved-by-combine cloud -> successor *)
   obs : Xheal_obs.Scope.t option;
+  monitor : Xheal_obs.Monitor.t option;
   plan : Fault_plan.t;
   sched : Schedule.t;
   backend : Cost.backend option;
@@ -56,8 +57,8 @@ let clouds_of_node t u = Registry.clouds_of t.reg u
    synchronous delivery — only then does measured pricing engage. *)
 let faulty plan sched = not (Fault_plan.is_none plan && Schedule.is_sync sched)
 
-let create ?(cfg = Config.default) ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?backend ~rng g =
+let create ?(cfg = Config.default) ?obs ?monitor ?(plan = Fault_plan.none)
+    ?(schedule = Schedule.sync) ?backend ~rng g =
   (match Config.validate cfg with Ok () -> () | Error e -> invalid_arg ("Xheal.create: " ^ e));
   if faulty plan schedule && backend = None then
     invalid_arg "Xheal.create: a fault plan or async schedule requires a pricing backend";
@@ -68,6 +69,7 @@ let create ?(cfg = Config.default) ?obs ?(plan = Fault_plan.none) ?(schedule = S
     reg = Registry.create ();
     fwd = Hashtbl.create 16;
     obs;
+    monitor;
     plan;
     sched = schedule;
     backend;
@@ -449,6 +451,26 @@ let finish t ctx ~black_degree =
   t.last <- Some ctx.report;
   t.last_ops <- List.rev ctx.ops
 
+(* The monitor seam is strictly passive: notifications fire after the
+   repair is fully accounted, read the healed graph without mutating
+   it, and nothing below ever touches [t.rng] — a [None] monitor is
+   bit-identical to a build without the seam. *)
+let monitor_delete t ~victims ~touched =
+  match t.monitor with
+  | None -> ()
+  | Some m ->
+    Xheal_obs.Monitor.on_delete m ~seq:t.seq ~time:t.totals.Cost.total_rounds ~victims ~touched
+      ~healed:(graph t)
+
+(* Nodes a repair involves, for the monitor's degree spot-check: the
+   victims' black neighbours plus every member of their clouds.
+   Captured before removal, only when a monitor is attached. *)
+let monitor_touched t ~blacks ~clouds =
+  match t.monitor with
+  | None -> []
+  | Some _ ->
+    List.sort_uniq Int.compare (blacks @ List.concat_map Cloud.members clouds)
+
 let insert t ~node ~neighbors =
   if Graph.has_node (graph t) node then invalid_arg "Xheal.insert: node already present";
   t.seq <- t.seq + 1;
@@ -459,7 +481,14 @@ let insert t ~node ~neighbors =
   let ctx =
     { report = Cost.empty_report ~seq:t.seq Cost.Insertion; ops = []; plan = t.plan; sched = t.sched }
   in
-  finish t ctx ~black_degree:0
+  finish t ctx ~black_degree:0;
+  match t.monitor with
+  | None -> ()
+  | Some m ->
+    (* [node] is present by now, so re-filtering against the healed
+       graph reproduces exactly the neighbour set that took effect. *)
+    Xheal_obs.Monitor.on_insert m ~node
+      ~neighbors:(List.filter (fun u -> Graph.has_node (graph t) u && u <> node) neighbors)
 
 (* Effective plan/schedule of one repair call: per-call override, else
    the engine's ambient ones. A faulty result still requires a backend. *)
@@ -489,6 +518,7 @@ let delete ?plan ?schedule t v =
       m "delete %d: %s, %d black neighbours, %d clouds" v (Cost.case_to_string case) black_deg
         (List.length my_clouds));
   let ctx = { report = Cost.empty_report ~seq:t.seq case; ops = []; plan; sched } in
+  let mon_touched = monitor_touched t ~blacks:black_nbrs ~clouds:my_clouds in
   (* Capture the bridge association before the registry forgets v. *)
   let f_assoc =
     match sec with
@@ -536,7 +566,8 @@ let delete ?plan ?schedule t v =
               | _ -> remaining
             in
             make_secondary t ctx units black_nbrs));
-  finish t ctx ~black_degree:black_deg
+  finish t ctx ~black_degree:black_deg;
+  monitor_delete t ~victims:[ v ] ~touched:mon_touched
 
 (* ------------------------------------------------------------------ *)
 (* Multi-deletion extension (Section 1: "Our algorithm can be extended
@@ -580,6 +611,7 @@ let delete_many ?plan ?schedule t victims =
       }
     in
     obs_start_repair t;
+    let mon_touched = ref [] in
     let total_black =
       span t ctx "xheal:delete-many" (fun () ->
     (* Phase 0: capture the pre-removal structure around every victim. *)
@@ -596,6 +628,10 @@ let delete_many ?plan ?schedule t victims =
           (v, blacks, clouds, sec, assoc))
         victims
     in
+    mon_touched :=
+      monitor_touched t
+        ~blacks:(List.concat_map (fun (_, blacks, _, _, _) -> blacks) info)
+        ~clouds:(List.concat_map (fun (_, _, clouds, _, _) -> clouds) info);
     let total_black =
       List.fold_left (fun acc (_, blacks, _, _, _) -> acc + List.length blacks) 0 info
     in
@@ -695,7 +731,8 @@ let delete_many ?plan ?schedule t victims =
     finish t ctx ~black_degree:total_black;
     (* The batch counts as one report but as many deletions. *)
     t.totals <-
-      { t.totals with Cost.deletions = t.totals.Cost.deletions + List.length victims - 1 }
+      { t.totals with Cost.deletions = t.totals.Cost.deletions + List.length victims - 1 };
+    monitor_delete t ~victims ~touched:!mon_touched
 
 (* ------------------------------------------------------------------ *)
 

@@ -32,6 +32,7 @@ type t
 val create :
   ?cfg:Config.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Xheal_fault.Fault_plan.t ->
   ?schedule:Xheal_fault.Schedule.t ->
   ?backend:Cost.backend ->
@@ -55,6 +56,16 @@ val create :
     ([Tracer.claim_clock]): sharing it with Netsim-driven code (protocol
     replay, a pricing backend) trips [Tracer.check] — keep one scope per
     clock.
+
+    [monitor] (default: none) attaches an online invariant observatory
+    ({!Xheal_obs.Monitor}). After each repair is fully accounted the
+    engine notifies it with the victims, the touched nodes (black
+    neighbours plus affected-cloud members, captured pre-removal), the
+    repair sequence number and the engine-rounds timestamp; insertions
+    feed its insert-only reference graph. The seam is strictly passive:
+    the monitor owns a private RNG and only reads the healed graph, so
+    [?monitor:None] runs are bit-identical to builds without the seam
+    and monitored runs heal identically (QCheck-pinned, like [obs]).
 
     [plan] / [schedule] (defaults: {!Xheal_fault.Fault_plan.none} /
     {!Xheal_fault.Schedule.sync}) select the delivery model repairs are

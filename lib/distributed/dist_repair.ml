@@ -136,6 +136,17 @@ let adaptive_phase obs ~phase ~policy ~suspect ~run acc =
 
 (* ------------------------------------------------------------------ *)
 
+(* Monitor seam: report one finished operation's totals to an attached
+   invariant observatory. Purely passive — reads the folded stats after
+   the fact, draws nothing from any protocol RNG. *)
+let note_monitor monitor phase (s : stats) =
+  ( match monitor with
+  | None -> ()
+  | Some m ->
+    Xheal_obs.Monitor.note_phase m ~phase ~rounds:s.rounds ~messages:s.messages
+      ~converged:s.converged );
+  s
+
 let default_policy = Defense.Static Defense.none
 
 let build_phase ~rng ?obs ?backoff ?(defense = default_policy) ~plan ~schedule ?max_rounds
@@ -176,20 +187,21 @@ let elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members
       acc
     |> fun (acc, (leader, _)) -> (acc, leader)
 
-let primary_build_named ~rng ?obs ~span ?(plan = Fault_plan.none)
+let primary_build_named ~rng ?obs ?monitor ~span ?(plan = Fault_plan.none)
     ?(schedule = Schedule.sync) ?backoff ?(defense = default_policy) ?max_rounds ~d
     ~neighbors () =
   match neighbors with
   | [] -> zero
   | _ ->
-    repair_span obs span (fun () ->
-        let acc, leader =
-          elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds
-            ~members:neighbors zero
-        in
-        let leader = Option.value ~default:(List.hd neighbors) leader in
-        build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
-          ~members:neighbors acc)
+    note_monitor monitor span
+      (repair_span obs span (fun () ->
+           let acc, leader =
+             elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds
+               ~members:neighbors zero
+           in
+           let leader = Option.value ~default:(List.hd neighbors) leader in
+           build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
+             ~members:neighbors acc))
 
 (* Standalone phase entry points for the engine's pricing backend
    ([Pricing]): the engine prices election and build as separate cost
@@ -197,54 +209,59 @@ let primary_build_named ~rng ?obs ~span ?(plan = Fault_plan.none)
    too. Semantics and per-phase fault streams match the corresponding
    phase inside {!primary_build}. *)
 
-let elect ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?backoff
-    ?(defense = default_policy) ?max_rounds ~members () =
+let elect ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+    ?backoff ?(defense = default_policy) ?max_rounds ~members () =
   match members with
   | [] -> (zero, None)
   | _ ->
-    repair_span obs "repair:elect" (fun () ->
-        elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members zero)
+    let s, leader =
+      repair_span obs "repair:elect" (fun () ->
+          elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members zero)
+    in
+    (note_monitor monitor "repair:elect" s, leader)
 
-let build ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?backoff
-    ?(defense = default_policy) ?max_rounds ~d ~leader ~members () =
+let build ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+    ?backoff ?(defense = default_policy) ?max_rounds ~d ~leader ~members () =
   match members with
   | [] -> zero
   | _ ->
-    repair_span obs "repair:build" (fun () ->
-        build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
-          ~members zero)
+    note_monitor monitor "repair:build"
+      (repair_span obs "repair:build" (fun () ->
+           build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
+             ~members zero))
 
-let primary_build ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d ~neighbors
-    () =
-  primary_build_named ~rng ?obs ~span:"repair:primary-build" ?plan ?schedule ?backoff
-    ?defense ?max_rounds ~d ~neighbors ()
+let primary_build ~rng ?obs ?monitor ?plan ?schedule ?backoff ?defense ?max_rounds ~d
+    ~neighbors () =
+  primary_build_named ~rng ?obs ?monitor ~span:"repair:primary-build" ?plan ?schedule
+    ?backoff ?defense ?max_rounds ~d ~neighbors ()
 
-let secondary_stitch ~rng ?obs ?plan ?schedule ?backoff ?defense ?max_rounds ~d ~bridges
-    () =
-  primary_build_named ~rng ?obs ~span:"repair:secondary-stitch" ?plan ?schedule ?backoff
-    ?defense ?max_rounds ~d ~neighbors:bridges ()
+let secondary_stitch ~rng ?obs ?monitor ?plan ?schedule ?backoff ?defense ?max_rounds ~d
+    ~bridges () =
+  primary_build_named ~rng ?obs ?monitor ~span:"repair:secondary-stitch" ?plan ?schedule
+    ?backoff ?defense ?max_rounds ~d ~neighbors:bridges ()
 
-let combine ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?backoff
-    ?(defense = default_policy) ?max_rounds ~d ~union ~initiator () =
-  repair_span obs "repair:combine" (fun () ->
-      let expected = Xheal_graph.Graph.nodes union in
-      let acc, collected =
-        if simple plan schedule then begin
-          let bfs_stats, collected = Bfs_echo.run ?obs ~graph:union ~root:initiator () in
-          (finish_phase obs "bfs-echo" bfs_stats zero, collected)
-        end
-        else
-          adaptive_phase obs ~phase:"bfs-echo" ~policy:defense
-            ~suspect:(fun s collected -> echo_suspicious ~expected s collected)
-            ~run:(fun dfn ->
-              Bfs_echo.run_robust ?obs ~plan:(phase_plan plan 3)
-                ~schedule:(phase_sched schedule 3) ?backoff ~defense:dfn ?max_rounds
-                ~graph:union ~root:initiator ())
-            zero
-      in
-      let members = Option.value ~default:[ initiator ] collected in
-      build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d
-        ~leader:initiator ~members acc)
+let combine ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
+    ?backoff ?(defense = default_policy) ?max_rounds ~d ~union ~initiator () =
+  note_monitor monitor "repair:combine"
+    (repair_span obs "repair:combine" (fun () ->
+         let expected = Xheal_graph.Graph.nodes union in
+         let acc, collected =
+           if simple plan schedule then begin
+             let bfs_stats, collected = Bfs_echo.run ?obs ~graph:union ~root:initiator () in
+             (finish_phase obs "bfs-echo" bfs_stats zero, collected)
+           end
+           else
+             adaptive_phase obs ~phase:"bfs-echo" ~policy:defense
+               ~suspect:(fun s collected -> echo_suspicious ~expected s collected)
+               ~run:(fun dfn ->
+                 Bfs_echo.run_robust ?obs ~plan:(phase_plan plan 3)
+                   ~schedule:(phase_sched schedule 3) ?backoff ~defense:dfn ?max_rounds
+                   ~graph:union ~root:initiator ())
+               zero
+         in
+         let members = Option.value ~default:[ initiator ] collected in
+         build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d
+           ~leader:initiator ~members acc))
 
 let splice ?obs ~d () =
   let s =

@@ -23,7 +23,14 @@
     advanced past every phase so a multi-phase repair lays out
     sequentially on one timeline, and per-phase counters
     [repair.phase.<phase>.{messages,rounds,runs}] accumulate the
-    breakdown E7 reports. *)
+    breakdown E7 reports.
+
+    Each operation also takes an optional invariant observatory
+    ([monitor], {!Xheal_obs.Monitor}): when present the operation's
+    folded stats are reported through {!Xheal_obs.Monitor.note_phase}
+    after it completes, and a phase that failed to quiesce lands as a
+    [Convergence] violation in the monitor's event log. The seam is
+    strictly passive — it never touches any protocol RNG. *)
 
 type stats = {
   rounds : int;
@@ -46,6 +53,7 @@ val add : stats -> Netsim.stats -> stats
 val primary_build :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
@@ -71,6 +79,7 @@ val primary_build :
 val secondary_stitch :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
@@ -85,6 +94,7 @@ val secondary_stitch :
 val combine :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
@@ -102,6 +112,7 @@ val combine :
 val elect :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
@@ -120,6 +131,7 @@ val elect :
 val build :
   rng:Random.State.t ->
   ?obs:Xheal_obs.Scope.t ->
+  ?monitor:Xheal_obs.Monitor.t ->
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->

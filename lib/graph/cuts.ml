@@ -155,6 +155,66 @@ let sweep_conductance g ~scores =
         if denom > 0 then min acc (float_of_int cut /. float_of_int denom) else min acc 0.0)
       infinity
 
+(* Pack-level sweep kernels for the online monitors: expansion and
+   conductance over the prefix cuts of a caller-supplied packed-index
+   order — typically a BFS visit order ({!Traversal.packed_bfs} leaves
+   one in its queue) rather than a score sort. Same incremental cut
+   maintenance as [sweep], but over a raw order array so a monitor can
+   run them at cadence with zero allocation beyond the membership
+   array. Like the score sweeps these are upper bounds on the true
+   optimum. *)
+
+let packed_sweep_expansion (p : Graph.packed) ~order ~len = (* xlint: hot *)
+  let n = Array.length p.Graph.p_ids in
+  if n < 2 || len <= 0 then infinity
+  else begin
+    let inside = Array.make n false in
+    let stop = if len >= n then n - 1 else len in
+    let cut = ref 0 and inside_nbrs = ref 0 in
+    let best = ref infinity in
+    for k = 0 to stop - 1 do
+      let i = order.(k) in
+      let d = p.Graph.row_ptr.(i + 1) - p.Graph.row_ptr.(i) in
+      inside_nbrs := 0;
+      for e = p.Graph.row_ptr.(i) to p.Graph.row_ptr.(i + 1) - 1 do
+        if inside.(p.Graph.cols.(e)) then incr inside_nbrs
+      done;
+      cut := !cut + d - (2 * !inside_nbrs);
+      inside.(i) <- true;
+      let size = k + 1 in
+      let side = if size < n - size then size else n - size in
+      let h = float_of_int !cut /. float_of_int side in
+      if h < !best then best := h
+    done;
+    !best
+  end
+
+let packed_sweep_conductance (p : Graph.packed) ~order ~len = (* xlint: hot *)
+  let n = Array.length p.Graph.p_ids in
+  let total_vol = Array.length p.Graph.cols in
+  if n < 2 || len <= 0 || total_vol = 0 then infinity
+  else begin
+    let inside = Array.make n false in
+    let stop = if len >= n then n - 1 else len in
+    let cut = ref 0 and vol = ref 0 and inside_nbrs = ref 0 in
+    let best = ref infinity in
+    for k = 0 to stop - 1 do
+      let i = order.(k) in
+      let d = p.Graph.row_ptr.(i + 1) - p.Graph.row_ptr.(i) in
+      inside_nbrs := 0;
+      for e = p.Graph.row_ptr.(i) to p.Graph.row_ptr.(i + 1) - 1 do
+        if inside.(p.Graph.cols.(e)) then incr inside_nbrs
+      done;
+      cut := !cut + d - (2 * !inside_nbrs);
+      vol := !vol + d;
+      inside.(i) <- true;
+      let denom = if !vol < total_vol - !vol then !vol else total_vol - !vol in
+      let phi = if denom > 0 then float_of_int !cut /. float_of_int denom else 0.0 in
+      if phi < !best then best := phi
+    done;
+    !best
+  end
+
 let sweep_best_cut g ~scores =
   let n = Graph.num_nodes g in
   if n < 2 then ([], infinity)

@@ -29,3 +29,15 @@ val sweep_conductance : Graph.t -> scores:(int -> float) -> float
 
 val sweep_best_cut : Graph.t -> scores:(int -> float) -> int list * float
 (** Witness prefix set achieving the sweep expansion. *)
+
+val packed_sweep_expansion : Graph.packed -> order:int array -> len:int -> float
+(** Minimum expansion over the prefix cuts of the first [len] entries of
+    [order] — distinct packed indices, typically a BFS visit order as
+    left in the queue by {!Traversal.packed_bfs}. The full-set prefix is
+    skipped. Upper-bounds [h(G)]; [infinity] when the graph has fewer
+    than two nodes or [len <= 0]. Allocation-free except for one
+    membership array; safe at monitor cadence. *)
+
+val packed_sweep_conductance : Graph.packed -> order:int array -> len:int -> float
+(** Minimum conductance over the same prefix sweep. A zero-volume
+    complement reads as conductance 0 (disconnected graph). *)

@@ -35,6 +35,11 @@ let bfs_core (p : Graph.packed) dist parent queue src = (* xlint: hot *)
   done;
   !tail
 
+(* Public face of bfs_core for pack-level callers (the obs monitors):
+   same contract, scratch supplied by the caller so repeated runs reuse
+   arrays. *)
+let packed_bfs p ~dist ~parent ~queue src = bfs_core p dist parent queue src
+
 let bfs_with_parents g s =
   let dist = Hashtbl.create 64 in
   let parent = Hashtbl.create 64 in

@@ -1,5 +1,15 @@
 (** Graph searches and derived connectivity/distance queries. *)
 
+val packed_bfs :
+  Graph.packed -> dist:int array -> parent:int array -> queue:int array -> int -> int
+(** One BFS over the packed CSR view from packed index [src], into
+    caller-owned scratch (all of length [Array.length p.p_ids]): [dist]
+    must hold [-1] at every unvisited entry; [dist]/[parent] are written
+    in place and [queue] ends up holding the visit order in its first
+    [r] slots, where [r] — the number of nodes reached — is returned.
+    Allocation-free; the flat core behind the traversals below and the
+    obs monitors' sampled sweeps. *)
+
 val bfs_distances : Graph.t -> int -> (int, int) Hashtbl.t
 (** [bfs_distances g s] maps every node reachable from [s] (including [s],
     at distance 0) to its hop distance from [s]. *)

@@ -27,9 +27,12 @@ let escape_string b s =
 
 (* Fixed-format floats: decimal, six fractional digits, no exponent
    notation, so equal floats always print as equal bytes and the parser
-   round-trips them. *)
+   round-trips them. JSON has no NaN/infinity literal, so non-finite
+   values print as [null] — the finiteness test must come first because
+   [Float.is_integer infinity] is true. *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6f" f
 
 let rec write ~indent ~level b v =

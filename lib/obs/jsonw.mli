@@ -16,7 +16,10 @@ type t =
   | Null
   | Bool of bool
   | Int of int
-  | Float of float  (** Printed with ["%.6f"]; not for replay-compared data. *)
+  | Float of float
+      (** Printed with ["%.6f"] (["%.1f"] for integral values); NaN and
+          infinities print as [null] — JSON has no non-finite literal.
+          Not for replay-compared data. *)
   | String of string
   | List of t list
   | Obj of (string * t) list  (** Fields print in list order. *)

@@ -104,6 +104,35 @@ let histogram_count h = h.hcount
 
 let histogram_sum h = h.sum
 
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_mean : float;
+}
+
+let summary h =
+  if h.hcount = 0 then { s_count = 0; s_sum = 0; s_min = 0; s_max = 0; s_mean = 0.0 }
+  else
+    {
+      s_count = h.hcount;
+      s_sum = h.sum;
+      s_min = h.minv;
+      s_max = h.maxv;
+      s_mean = float_of_int h.sum /. float_of_int h.hcount;
+    }
+
+let summary_json s =
+  Jsonw.Obj
+    [
+      ("count", Jsonw.Int s.s_count);
+      ("sum", Jsonw.Int s.s_sum);
+      ("min", Jsonw.Int s.s_min);
+      ("max", Jsonw.Int s.s_max);
+      ("mean", Jsonw.Float s.s_mean);
+    ]
+
 let histogram_buckets h =
   List.init
     (Array.length h.buckets)
@@ -127,6 +156,11 @@ let counters t =
 let gauges t =
   List.filter_map
     (function name, Gauge g -> Some (name, g.value) | _ -> None)
+    (sorted_metrics t)
+
+let summaries t =
+  List.filter_map
+    (function name, Histogram h -> Some (name, summary h) | _ -> None)
     (sorted_metrics t)
 
 let metric_json = function

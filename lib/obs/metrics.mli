@@ -61,6 +61,24 @@ val histogram_buckets : histogram -> (int option * int) list
 (** [(upper_bound, count)] per bucket in bound order; [None] is the
     overflow bucket. *)
 
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_mean : float;
+}
+(** Deterministic digest of a histogram's observations — reports consume
+    this instead of re-deriving stats from buckets. An empty histogram
+    summarizes to all zeros (not [max_int]/[min_int] sentinels). *)
+
+val summary : histogram -> summary
+
+val summary_json : summary -> Jsonw.t
+(** [{"count":…,"sum":…,"min":…,"max":…,"mean":…}]; mean is the only
+    float and is a pure function of two ints, so the encoding is
+    byte-deterministic. *)
+
 (** {1 Enumeration and export} *)
 
 val counters : t -> (string * int) list
@@ -68,6 +86,9 @@ val counters : t -> (string * int) list
 
 val gauges : t -> (string * int) list
 (** Sorted by name. *)
+
+val summaries : t -> (string * summary) list
+(** One {!summary} per histogram, sorted by name. *)
 
 val to_json : t -> Jsonw.t
 (** Flat dump: one object field per metric, sorted by name, each

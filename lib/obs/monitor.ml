@@ -1,0 +1,450 @@
+(* Online invariant observatory: samples the paper's guarantees while a
+   run is in flight and turns every breach into a structured event.
+
+   The monitor keeps its own insert-only shadow graph (the G'_t the
+   guarantees compare against — same maintenance discipline as
+   [Xheal_adversary.Driver]: deletions are ignored) plus an alive view
+   (G'_t minus the deleted nodes) for connectivity comparisons. It is
+   strictly passive: it owns a private RNG seeded from its config, never
+   draws from the engine's RNG, and never mutates the healed graph —
+   an engine run with [?monitor:None] is bit-identical to one without
+   the seam, and a monitored run's event log is a pure function of the
+   seeds.
+
+   Checks run on a configurable repair cadence. Small graphs get exact
+   expansion (subset enumeration, so the known degree-<=2 corner from
+   test_exhaustive fires exactly); larger graphs get sampled BFS-order
+   sweep estimates over the packed CSR view (upper bounds, compared
+   with a generous tolerance so estimation noise never reads as a
+   breach). The per-check kernels are flat array scans marked hot on
+   their binding line — the H-rules keep their loops allocation-free. *)
+
+module Graph = Xheal_graph.Graph
+module Traversal = Xheal_graph.Traversal
+module Cuts = Xheal_graph.Cuts
+
+type guarantee = Degree | Expansion | Conductance | Connectivity | Stretch | Convergence
+
+let all_guarantees = [ Degree; Expansion; Conductance; Connectivity; Stretch; Convergence ]
+
+let guarantee_to_string = function
+  | Degree -> "degree"
+  | Expansion -> "expansion"
+  | Conductance -> "conductance"
+  | Connectivity -> "connectivity"
+  | Stretch -> "stretch"
+  | Convergence -> "convergence"
+
+let gindex = function
+  | Degree -> 0
+  | Expansion -> 1
+  | Conductance -> 2
+  | Connectivity -> 3
+  | Stretch -> 4
+  | Convergence -> 5
+
+type config = {
+  kappa : int;
+  cadence : int;
+  exact_limit : int;
+  alpha : float;
+  sweep_tol : float;
+  degree_samples : int;
+  stretch_sources : int;
+  stretch_targets : int;
+  stretch_factor : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    kappa = 4;
+    cadence = 1;
+    exact_limit = 12;
+    alpha = 1.0;
+    sweep_tol = 0.5;
+    degree_samples = 8;
+    stretch_sources = 2;
+    stretch_targets = 8;
+    stretch_factor = 4.0;
+    seed = 0x0b5;
+  }
+
+type violation = {
+  v_guarantee : guarantee;
+  v_seq : int;
+  v_time : int;
+  v_node : int;
+  v_bound : float;
+  v_measured : float;
+  v_detail : string;
+}
+
+type sample = { s_guarantee : guarantee; s_seq : int; s_time : int; s_value : float }
+
+type event = Sample of sample | Violation of violation
+
+type t = {
+  config : config;
+  rng : Random.State.t;
+  reference : Graph.t; (* insert-only shadow G'_t *)
+  ref_alive : Graph.t; (* G'_t minus the deleted nodes *)
+  dead : (int, unit) Hashtbl.t;
+  mutable rev_events : event list;
+  mutable num_events : int;
+  mutable repairs : int;
+  mutable checks : int;
+  mutable num_violations : int;
+  viol_by : int array; (* indexed by gindex *)
+  first_sample : float option array;
+  last_sample : float option array;
+  mutable phase_seq : int;
+}
+
+let n_guarantees = List.length all_guarantees
+
+let create ?(config = default_config) g =
+  if config.cadence < 1 then invalid_arg "Monitor.create: cadence must be >= 1";
+  if config.exact_limit > 22 then
+    invalid_arg "Monitor.create: exact_limit exceeds the Cuts enumeration cap (22)";
+  {
+    config;
+    rng = Random.State.make [| config.seed |];
+    reference = Graph.copy g;
+    ref_alive = Graph.copy g;
+    dead = Hashtbl.create 64;
+    rev_events = [];
+    num_events = 0;
+    repairs = 0;
+    checks = 0;
+    num_violations = 0;
+    viol_by = Array.make n_guarantees 0;
+    first_sample = Array.make n_guarantees None;
+    last_sample = Array.make n_guarantees None;
+    phase_seq = 0;
+  }
+
+let config t = t.config
+let repairs t = t.repairs
+let checks t = t.checks
+let num_events t = t.num_events
+let num_violations t = t.num_violations
+let events t = List.rev t.rev_events
+
+let violations t =
+  List.filter_map (function Violation v -> Some v | Sample _ -> None) (events t)
+
+let push t e =
+  t.rev_events <- e :: t.rev_events;
+  t.num_events <- t.num_events + 1
+
+let sample t ~guarantee ~seq ~time value =
+  let i = gindex guarantee in
+  (match t.first_sample.(i) with
+  | None -> t.first_sample.(i) <- Some value
+  | Some _ -> ());
+  t.last_sample.(i) <- Some value;
+  push t (Sample { s_guarantee = guarantee; s_seq = seq; s_time = time; s_value = value })
+
+let violate t ~guarantee ~seq ~time ~node ~bound ~measured detail =
+  t.num_violations <- t.num_violations + 1;
+  t.viol_by.(gindex guarantee) <- t.viol_by.(gindex guarantee) + 1;
+  push t
+    (Violation
+       {
+         v_guarantee = guarantee;
+         v_seq = seq;
+         v_time = time;
+         v_node = node;
+         v_bound = bound;
+         v_measured = measured;
+         v_detail = detail;
+       })
+
+(* ------------------------------------------------------------------ *)
+(* Shadow maintenance.                                                 *)
+
+let on_insert t ~node ~neighbors =
+  if not (Graph.has_node t.reference node) then begin
+    Graph.add_node t.reference node;
+    Graph.add_node t.ref_alive node;
+    List.iter
+      (fun u ->
+        if u <> node then begin
+          if Graph.has_node t.reference u then ignore (Graph.add_edge t.reference node u);
+          if Graph.has_node t.ref_alive u then ignore (Graph.add_edge t.ref_alive node u)
+        end)
+      neighbors
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flat scan kernels — the per-check sampling hot path.                *)
+
+(* Minimum degree-bound headroom over paired degree arrays: healed
+   degree dh.(i) against the kappa*dr.(i)+2*kappa budget. Breaches are
+   counted into the caller's [viols]; the (cold) caller re-scans to
+   attach nodes and details to events. *)
+let degree_scan dh dr len kappa viols = (* xlint: hot *)
+  let worst = ref infinity in
+  for i = 0 to len - 1 do
+    let bound = (kappa * dr.(i)) + (2 * kappa) in
+    let headroom = float_of_int (bound - dh.(i)) in
+    if headroom < !worst then worst := headroom;
+    if dh.(i) > bound then incr viols
+  done;
+  !worst
+
+(* Worst healed/reference distance ratio over sampled pairs: healed BFS
+   distances [hd] indexed by healed packed index [targets.(i)],
+   reference distances [rd] indexed by the precomputed map [tmap.(i)]
+   (-1 when the target fell out of the reference pack). Pairs the
+   reference cannot reach are skipped — they are not "surviving pairs";
+   pairs only the healed graph cannot reach score as infinite stretch. *)
+let stretch_scan hd rd targets tmap len bound viols = (* xlint: hot *)
+  let worst = ref 1.0 in
+  for i = 0 to len - 1 do
+    let ti = targets.(i) and ri = tmap.(i) in
+    if ri >= 0 && rd.(ri) > 0 then begin
+      if hd.(ti) < 0 then begin
+        incr viols;
+        worst := infinity
+      end
+      else begin
+        let r = float_of_int hd.(ti) /. float_of_int rd.(ri) in
+        if r > !worst then worst := r;
+        if r > bound then incr viols
+      end
+    end
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Guarantee checks.                                                   *)
+
+let check_degree t ~seq ~time ~touched ~healed =
+  let live =
+    List.filter (fun u -> Graph.has_node healed u && Graph.has_node t.reference u) touched
+  in
+  let len = List.length live in
+  if len > 0 then begin
+    let nodes = Array.of_list live in
+    let dh = Array.map (Graph.degree healed) nodes in
+    let dr = Array.map (Graph.degree t.reference) nodes in
+    let viols = ref 0 in
+    let worst = degree_scan dh dr len t.config.kappa viols in
+    sample t ~guarantee:Degree ~seq ~time worst;
+    if !viols > 0 then
+      Array.iteri
+        (fun i u ->
+          let bound = (t.config.kappa * dr.(i)) + (2 * t.config.kappa) in
+          if dh.(i) > bound then
+            violate t ~guarantee:Degree ~seq ~time ~node:u ~bound:(float_of_int bound)
+              ~measured:(float_of_int dh.(i))
+              (Printf.sprintf "deg %d exceeds %d*%d+%d" dh.(i) t.config.kappa dr.(i)
+                 (2 * t.config.kappa)))
+        nodes
+  end
+
+let check_connectivity t ~seq ~time ~healed =
+  let hc = Traversal.num_components healed in
+  let rc = Traversal.num_components t.ref_alive in
+  sample t ~guarantee:Connectivity ~seq ~time (float_of_int hc);
+  if hc > rc then
+    violate t ~guarantee:Connectivity ~seq ~time ~node:(-1) ~bound:(float_of_int rc)
+      ~measured:(float_of_int hc)
+      (Printf.sprintf "%d components vs %d in G' minus deletions" hc rc)
+
+let check_expansion t ~seq ~time ~healed =
+  let hn = Graph.num_nodes healed and rn = Graph.num_nodes t.reference in
+  if hn >= 2 then
+    if hn <= t.config.exact_limit && rn <= t.config.exact_limit then begin
+      (* Small graphs: exact subset enumeration against the exact
+         reference target — the degree-<=2 corner fires here. *)
+      let h1 = Cuts.exact_expansion healed in
+      let h0 = Cuts.exact_expansion t.reference in
+      let phi = Cuts.exact_conductance healed in
+      let target = Float.min t.config.alpha h0 in
+      sample t ~guarantee:Expansion ~seq ~time h1;
+      sample t ~guarantee:Conductance ~seq ~time phi;
+      if h1 +. 1e-9 < target then
+        violate t ~guarantee:Expansion ~seq ~time ~node:(-1) ~bound:target ~measured:h1
+          (Printf.sprintf "exact h %.6f below min(alpha, h(G')) %.6f" h1 target)
+    end
+    else begin
+      (* Large graphs: BFS-order sweep estimates from one sampled
+         source, on both the healed graph and the reference. Both sides
+         are upper bounds, so the comparison keeps a wide tolerance —
+         this is a tripwire for collapse, not a proof of the constant. *)
+      let hp = Graph.pack healed in
+      let rp = Graph.pack t.reference in
+      let hn' = Array.length hp.Graph.p_ids and rn' = Array.length rp.Graph.p_ids in
+      let si = Random.State.int t.rng hn' in
+      let src = hp.Graph.p_ids.(si) in
+      let hd = Array.make hn' (-1) and hpar = Array.make hn' (-1) and hq = Array.make hn' 0 in
+      let reached = Traversal.packed_bfs hp ~dist:hd ~parent:hpar ~queue:hq si in
+      let h_est = Cuts.packed_sweep_expansion hp ~order:hq ~len:reached in
+      let phi_est = Cuts.packed_sweep_conductance hp ~order:hq ~len:reached in
+      sample t ~guarantee:Expansion ~seq ~time h_est;
+      sample t ~guarantee:Conductance ~seq ~time phi_est;
+      if Graph.has_node t.reference src then begin
+        let ri = Graph.packed_index rp src in
+        let rd = Array.make rn' (-1) and rpar = Array.make rn' (-1) and rq = Array.make rn' 0 in
+        let rreached = Traversal.packed_bfs rp ~dist:rd ~parent:rpar ~queue:rq ri in
+        let h_ref = Cuts.packed_sweep_expansion rp ~order:rq ~len:rreached in
+        let target = Float.min t.config.alpha h_ref *. (1.0 -. t.config.sweep_tol) in
+        if h_est +. 1e-9 < target then
+          violate t ~guarantee:Expansion ~seq ~time ~node:src ~bound:target ~measured:h_est
+            (Printf.sprintf "sweep h %.6f below (1-tol)*min(alpha, sweep h(G')) %.6f" h_est
+               target)
+      end
+    end
+
+let check_stretch t ~seq ~time ~healed =
+  let hp = Graph.pack healed in
+  let hn = Array.length hp.Graph.p_ids in
+  if hn >= 2 && Graph.num_nodes t.reference >= 2 then begin
+    let rp = Graph.pack t.reference in
+    let rn = Array.length rp.Graph.p_ids in
+    let bound =
+      Float.max 1.0 (t.config.stretch_factor *. (Float.log (float_of_int hn) /. Float.log 2.0))
+    in
+    let hd = Array.make hn (-1) and hpar = Array.make hn (-1) and hq = Array.make hn 0 in
+    let rd = Array.make rn (-1) and rpar = Array.make rn (-1) and rq = Array.make rn 0 in
+    let targets = Array.make t.config.stretch_targets 0 in
+    let tmap = Array.make t.config.stretch_targets (-1) in
+    let worst_all = ref 1.0 in
+    for _src = 1 to t.config.stretch_sources do
+      let si = Random.State.int t.rng hn in
+      let s = hp.Graph.p_ids.(si) in
+      for i = 0 to t.config.stretch_targets - 1 do
+        let ti = Random.State.int t.rng hn in
+        targets.(i) <- ti;
+        let u = hp.Graph.p_ids.(ti) in
+        tmap.(i) <- (if u <> s && Graph.has_node t.reference u then Graph.packed_index rp u else -1)
+      done;
+      if Graph.has_node t.reference s then begin
+        Array.fill hd 0 hn (-1);
+        Array.fill rd 0 rn (-1);
+        ignore (Traversal.packed_bfs hp ~dist:hd ~parent:hpar ~queue:hq si);
+        ignore (Traversal.packed_bfs rp ~dist:rd ~parent:rpar ~queue:rq (Graph.packed_index rp s));
+        let viols = ref 0 in
+        let worst = stretch_scan hd rd targets tmap t.config.stretch_targets bound viols in
+        if worst > !worst_all then worst_all := worst;
+        if !viols > 0 then
+          Array.iteri
+            (fun i ti ->
+              let ri = tmap.(i) in
+              if ri >= 0 && rd.(ri) > 0 then begin
+                let u = hp.Graph.p_ids.(ti) in
+                if hd.(ti) < 0 then
+                  violate t ~guarantee:Stretch ~seq ~time ~node:u ~bound ~measured:infinity
+                    (Printf.sprintf "pair (%d,%d) connected in G' but not in healed graph" s u)
+                else begin
+                  let r = float_of_int hd.(ti) /. float_of_int rd.(ri) in
+                  if r > bound then
+                    violate t ~guarantee:Stretch ~seq ~time ~node:u ~bound ~measured:r
+                      (Printf.sprintf "dist %d vs %d in G' from %d" hd.(ti) rd.(ri) s)
+                end
+              end)
+            targets
+      end
+    done;
+    sample t ~guarantee:Stretch ~seq ~time !worst_all
+  end
+
+(* A few RNG-sampled survivors widen the degree check beyond the nodes
+   the repair touched. *)
+let sampled_survivors t ~healed =
+  let n = Graph.num_nodes healed in
+  if n = 0 || t.config.degree_samples = 0 then []
+  else begin
+    let p = Graph.pack healed in
+    List.init (min t.config.degree_samples n) (fun _ ->
+        p.Graph.p_ids.(Random.State.int t.rng n))
+  end
+
+let on_delete t ~seq ~time ~victims ~touched ~healed =
+  List.iter
+    (fun v ->
+      if Graph.has_node t.ref_alive v then Graph.remove_node t.ref_alive v;
+      Hashtbl.replace t.dead v ())
+    victims;
+  t.repairs <- t.repairs + 1;
+  if t.repairs mod t.config.cadence = 0 then begin
+    t.checks <- t.checks + 1;
+    let extra = sampled_survivors t ~healed in
+    check_degree t ~seq ~time ~touched:(touched @ extra) ~healed;
+    check_connectivity t ~seq ~time ~healed;
+    check_expansion t ~seq ~time ~healed;
+    check_stretch t ~seq ~time ~healed
+  end
+
+let note_phase t ~phase ~rounds ~messages ~converged =
+  t.phase_seq <- t.phase_seq + 1;
+  if not converged then
+    violate t ~guarantee:Convergence ~seq:t.phase_seq ~time:rounds ~node:(-1) ~bound:0.0
+      ~measured:(float_of_int messages)
+      (Printf.sprintf "phase %s did not quiesce after %d rounds" phase rounds)
+
+(* ------------------------------------------------------------------ *)
+(* Export.                                                             *)
+
+let event_json = function
+  | Sample s ->
+    Jsonw.Obj
+      [
+        ("event", Jsonw.String "sample");
+        ("guarantee", Jsonw.String (guarantee_to_string s.s_guarantee));
+        ("seq", Jsonw.Int s.s_seq);
+        ("time", Jsonw.Int s.s_time);
+        ("value", Jsonw.Float s.s_value);
+      ]
+  | Violation v ->
+    Jsonw.Obj
+      [
+        ("event", Jsonw.String "violation");
+        ("guarantee", Jsonw.String (guarantee_to_string v.v_guarantee));
+        ("seq", Jsonw.Int v.v_seq);
+        ("time", Jsonw.Int v.v_time);
+        ("node", Jsonw.Int v.v_node);
+        ("bound", Jsonw.Float v.v_bound);
+        ("measured", Jsonw.Float v.v_measured);
+        ("detail", Jsonw.String v.v_detail);
+      ]
+
+let to_jsonl t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Jsonw.to_string (event_json e));
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let report_json t =
+  let deltas =
+    List.filter_map
+      (fun g ->
+        let i = gindex g in
+        match (t.first_sample.(i), t.last_sample.(i)) with
+        | Some first, Some last ->
+          Some
+            ( guarantee_to_string g,
+              Jsonw.Obj [ ("first", Jsonw.Float first); ("last", Jsonw.Float last) ] )
+        | _ -> None)
+      all_guarantees
+  in
+  Jsonw.Obj
+    [
+      ("schema", Jsonw.String "xheal-monitor/1");
+      ("repairs", Jsonw.Int t.repairs);
+      ("checks", Jsonw.Int t.checks);
+      ("events", Jsonw.Int t.num_events);
+      ("violations", Jsonw.Int t.num_violations);
+      ( "by_guarantee",
+        Jsonw.Obj
+          (List.map
+             (fun g -> (guarantee_to_string g, Jsonw.Int t.viol_by.(gindex g)))
+             all_guarantees) );
+      ("samples", Jsonw.Obj deltas);
+    ]

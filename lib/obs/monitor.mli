@@ -1,0 +1,122 @@
+(** Online invariant observatory: samples the paper's guarantees during
+    engine runs and emits structured violation events.
+
+    A monitor rides along an engine via the [?monitor] seam on
+    {!Xheal_core.Xheal.create} (or directly on the
+    {!Xheal_distributed.Dist_repair} operations) and, every [cadence]
+    repairs, checks the healed graph against the insert-only reference
+    [G'_t] it shadows internally:
+
+    - {b degree}: [deg(x) <= kappa*deg'(x) + 2*kappa] over the nodes the
+      repair touched plus a few sampled survivors (T2.2);
+    - {b expansion / conductance}: exact subset enumeration when both
+      graphs fit under [exact_limit] (the known degree-<=2 corner from
+      the exhaustive suite fires here), sampled BFS-order sweep
+      estimates over the packed CSR view otherwise, compared against
+      [min(alpha, h(G'))] with a [sweep_tol] band (T2.1);
+    - {b connectivity}: component counts against [G'] minus the deleted
+      nodes;
+    - {b stretch}: sampled surviving pairs, healed distance vs [G']
+      distance, against [stretch_factor * log2 n] (T2.3);
+    - {b convergence}: protocol phases reported through {!note_phase}
+      that failed to quiesce.
+
+    Passivity: the monitor owns a private RNG seeded from its config and
+    only ever reads the healed graph — engine behaviour with
+    [?monitor:None] is bit-identical to a build without the seam, and a
+    monitored seeded run reproduces its event log byte-for-byte. All
+    timestamps are engine-rounds virtual time; nothing here reads a
+    clock. *)
+
+type t
+
+type guarantee = Degree | Expansion | Conductance | Connectivity | Stretch | Convergence
+
+val guarantee_to_string : guarantee -> string
+
+type config = {
+  kappa : int;  (** degree-bound parameter; match the engine's. *)
+  cadence : int;  (** check every [cadence]-th repair (>= 1). *)
+  exact_limit : int;
+      (** max node count for exact enumeration (<= 22, the Cuts cap). *)
+  alpha : float;  (** the paper's expansion floor (1 for Xheal). *)
+  sweep_tol : float;
+      (** fractional tolerance on sweep-estimate comparisons — both
+          sides are upper bounds, so keep this generous. *)
+  degree_samples : int;  (** extra sampled survivors per degree check. *)
+  stretch_sources : int;
+  stretch_targets : int;  (** sampled BFS sources / targets per check. *)
+  stretch_factor : float;  (** stretch bound is [factor * log2 n]. *)
+  seed : int;  (** seed of the monitor's private RNG. *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Xheal_graph.Graph.t -> t
+(** A monitor over a run starting from the given graph (copied twice —
+    insert-only reference and alive view; never aliased).
+    @raise Invalid_argument if [cadence < 1] or [exact_limit > 22]. *)
+
+val config : t -> config
+
+(** {1 Run notifications} — called by the engine seam; safe to call
+    directly when driving {!Xheal_distributed.Dist_repair} by hand. *)
+
+val on_insert : t -> node:int -> neighbors:int list -> unit
+(** Grow the insert-only reference (and the alive view) — [neighbors]
+    should already be filtered to nodes alive in the healed graph, as
+    the adversary model specifies. Repeat insertions of a known node are
+    ignored. *)
+
+val on_delete : t -> seq:int -> time:int -> victims:int list -> touched:int list ->
+  healed:Xheal_graph.Graph.t -> unit
+(** Record deletions (they leave the reference untouched and only shrink
+    the alive view) and, on cadence, run the guarantee checks against
+    [healed]. [seq] is the engine's repair sequence number, [time] its
+    engine-rounds virtual clock, [touched] the nodes the repair involved
+    (black neighbours and affected-cloud members). *)
+
+val note_phase : t -> phase:string -> rounds:int -> messages:int -> converged:bool -> unit
+(** Record one protocol phase; a non-converged phase emits a
+    {!Convergence} violation (seq is a monitor-local phase counter,
+    time the phase's own round count). *)
+
+(** {1 Results} *)
+
+type violation = {
+  v_guarantee : guarantee;
+  v_seq : int;
+  v_time : int;
+  v_node : int;  (** offending node, [-1] for whole-graph breaches. *)
+  v_bound : float;
+  v_measured : float;
+  v_detail : string;
+}
+
+type sample = { s_guarantee : guarantee; s_seq : int; s_time : int; s_value : float }
+
+type event = Sample of sample | Violation of violation
+
+val events : t -> event list
+(** In emission order. *)
+
+val violations : t -> violation list
+
+val repairs : t -> int
+
+val checks : t -> int
+
+val num_events : t -> int
+
+val num_violations : t -> int
+
+val event_json : event -> Jsonw.t
+
+val to_jsonl : t -> string
+(** The structured event log: one compact JSON object per line, in
+    emission order, trailing newline. Byte-deterministic per seed. *)
+
+val report_json : t -> Jsonw.t
+(** ["xheal-monitor/1"] summary: repair/check/event/violation counts,
+    per-guarantee violation counts, and first/last sampled value per
+    guarantee (the guarantee deltas). *)

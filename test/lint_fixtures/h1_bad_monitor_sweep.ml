@@ -1,0 +1,9 @@
+(* H1: a monitor-style sweep that rebuilds its breach predicate on every
+   iteration of the scan instead of hoisting it out of the loop. *)
+(* xlint: hot *)
+let scan_breaches checks deg len =
+  let worst = ref 0 in
+  for i = 0 to len - 1 do
+    List.iter (fun check -> if check deg.(i) then worst := deg.(i)) checks
+  done;
+  !worst

@@ -103,6 +103,8 @@ let test_c_rules () =
 
 let test_h_rules () =
   check_findings "closure per iteration" [ ("H1", 6) ] "h1_bad_closure.ml";
+  check_findings "monitor-style sweep predicate per iteration" [ ("H1", 7) ]
+    "h1_bad_monitor_sweep.ml";
   check_findings "hoisted closure passes" [] "h1_good_hoisted.ml";
   check_findings "tuple and cons per iteration"
     [ ("H2", 6); ("H2", 6) ]

@@ -1,0 +1,247 @@
+(* The invariant observatory (lib/obs/monitor.ml): strict passivity of
+   the [?monitor] engine seam (QCheck over seeds: byte-identical healed
+   graphs, totals, and obs exports with the monitor on or off),
+   byte-deterministic event logs per seed, shadow maintenance across
+   insertions and multi-deletions, the Dist_repair convergence seam —
+   and the acceptance pin: over the exhaustive 5-node universe the
+   expansion monitor fires exactly on the known 60 degree-<=2 corner
+   cases and no other guarantee fires at all. *)
+
+module Graph = Xheal_graph.Graph
+module Gen = Xheal_graph.Generators
+module Cuts = Xheal_graph.Cuts
+module Xheal = Xheal_core.Xheal
+module Cost = Xheal_core.Cost
+module Scope = Xheal_obs.Scope
+module Monitor = Xheal_obs.Monitor
+module Jsonw = Xheal_obs.Jsonw
+module Dist_repair = Xheal_distributed.Dist_repair
+
+let mon_config ~seed =
+  { Monitor.default_config with Monitor.cadence = 1; seed }
+
+(* One seeded attack; [monitored] selects whether the engine carries a
+   monitor. Returns everything passivity compares, plus the monitor. *)
+let attack ?(n = 32) ?(deletions = 8) ~monitored seed =
+  let obs = Scope.create () in
+  let rng = Random.State.make [| seed |] in
+  let g = Gen.random_regular ~rng n 4 in
+  let monitor = if monitored then Some (Monitor.create ~config:(mon_config ~seed) g) else None in
+  let eng = Xheal.create ~obs ?monitor ~rng g in
+  let atk = Random.State.make [| seed + 1 |] in
+  for _ = 1 to deletions do
+    let nodes = Graph.nodes (Xheal.graph eng) in
+    Xheal.delete eng (List.nth nodes (Random.State.int atk (List.length nodes)))
+  done;
+  ( Xheal.graph eng,
+    (Xheal.totals eng).Cost.total_messages,
+    Scope.trace_string obs,
+    Scope.metrics_string obs,
+    monitor )
+
+let test_monitor_passive_qcheck =
+  QCheck.Test.make ~name:"monitor seam is passive (any seed)" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g0, m0, tr0, me0, _ = attack ~n:24 ~deletions:5 ~monitored:false seed in
+      let g1, m1, tr1, me1, _ = attack ~n:24 ~deletions:5 ~monitored:true seed in
+      Graph.equal g0 g1 && m0 = m1 && String.equal tr0 tr1 && String.equal me0 me1)
+
+let test_monitor_passive_pinned () =
+  List.iter
+    (fun seed ->
+      let g0, m0, tr0, me0, _ = attack ~monitored:false seed in
+      let g1, m1, tr1, me1, mon = attack ~monitored:true seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "healed graphs identical (seed %d)" seed)
+        true (Graph.equal g0 g1);
+      Alcotest.(check int) "message totals identical" m0 m1;
+      Alcotest.(check bool) "trace bytes identical" true (String.equal tr0 tr1);
+      Alcotest.(check bool) "metrics bytes identical" true (String.equal me0 me1);
+      match mon with
+      | Some m ->
+        Alcotest.(check int) "monitor saw every repair" 8 (Monitor.repairs m);
+        Alcotest.(check int) "cadence 1 checks every repair" 8 (Monitor.checks m);
+        Alcotest.(check bool) "checks emitted events" true (Monitor.num_events m > 0)
+      | None -> Alcotest.fail "monitored run lost its monitor")
+    [ 2; 19 ]
+
+let test_event_log_deterministic () =
+  let run () =
+    match attack ~monitored:true 7 with
+    | _, _, _, _, Some m -> (Monitor.to_jsonl m, Jsonw.to_string (Monitor.report_json m))
+    | _ -> Alcotest.fail "no monitor"
+  in
+  let log1, rep1 = run () in
+  let log2, rep2 = run () in
+  Alcotest.(check bool) "event log byte-identical across runs" true (String.equal log1 log2);
+  Alcotest.(check bool) "report byte-identical across runs" true (String.equal rep1 rep2);
+  (* Every line of the log is a parseable object carrying the shared
+     header fields. *)
+  let lines = String.split_on_char '\n' (String.trim log1) in
+  Alcotest.(check bool) "log is non-trivial" true (List.length lines > 10);
+  List.iter
+    (fun line ->
+      match Jsonw.of_string line with
+      | Ok json ->
+        (match Jsonw.member "event" json with
+        | Some (Jsonw.String ("sample" | "violation")) -> ()
+        | _ -> Alcotest.failf "bad event kind in %s" line);
+        List.iter
+          (fun k ->
+            if Jsonw.member k json = None then Alcotest.failf "line misses %S: %s" k line)
+          [ "guarantee"; "seq"; "time" ]
+      | Error e -> Alcotest.failf "unparseable log line %s: %s" line e)
+    lines
+
+(* The acceptance pin. Exhaustively over every connected 5-node graph x
+   every deletion (3640 cases, same engine seeding as test_exhaustive),
+   the monitor's exact expansion check must fire precisely on the known
+   degree-<=2 corner — 60 cases, every fired victim of degree <= 2 —
+   and the degree / connectivity / stretch monitors must stay silent. *)
+let test_degree2_corner_exhaustive () =
+  let fired_cases = ref 0 in
+  let checked =
+    Test_exhaustive.for_all_cases (fun g v ->
+        let deg = Graph.degree g v in
+        let monitor = Monitor.create ~config:(mon_config ~seed:0x0b5) g in
+        let rng = Random.State.make [| 5 * Graph.num_edges g; v |] in
+        let eng = Xheal.create ~monitor ~rng g in
+        Xheal.delete eng v;
+        let by_g guarantee =
+          List.length
+            (List.filter (fun viol -> viol.Monitor.v_guarantee = guarantee)
+               (Monitor.violations monitor))
+        in
+        List.iter
+          (fun guarantee ->
+            if by_g guarantee > 0 then
+              Alcotest.failf "%s violation on m=%d v=%d"
+                (Monitor.guarantee_to_string guarantee)
+                (Graph.num_edges g) v)
+          [ Monitor.Degree; Monitor.Connectivity; Monitor.Stretch; Monitor.Convergence ];
+        if by_g Monitor.Expansion > 0 then begin
+          incr fired_cases;
+          if deg > 2 then
+            Alcotest.failf "expansion fired on a degree-%d deletion (m=%d v=%d)" deg
+              (Graph.num_edges g) v
+        end)
+  in
+  Alcotest.(check int) "cases" 3640 checked;
+  Alcotest.(check int) "expansion fires exactly on the 60 corner cases" 60 !fired_cases
+
+(* Shadow maintenance: insertions grow the insert-only reference (so
+   later degree checks budget against the grown G'), repeats are
+   ignored, and a delete_many counts as one repair/one check. *)
+let test_shadow_insert_delete_many () =
+  let rng = Random.State.make [| 31 |] in
+  let g = Gen.random_regular ~rng 20 4 in
+  let monitor = Monitor.create ~config:(mon_config ~seed:31) g in
+  let eng = Xheal.create ~monitor ~rng g in
+  let fresh = 1000 in
+  let nbrs =
+    match Graph.nodes (Xheal.graph eng) with a :: b :: c :: _ -> [ a; b; c ] | _ -> []
+  in
+  Xheal.insert eng ~node:fresh ~neighbors:nbrs;
+  (* The engine rejects duplicate inserts, but the monitor's shadow hook
+     must be idempotent on its own (replayed notifications are no-ops). *)
+  Monitor.on_insert monitor ~node:fresh ~neighbors:nbrs;
+  Alcotest.(check int) "insertions alone trigger no checks" 0 (Monitor.checks monitor);
+  let victims =
+    List.filteri (fun i u -> i < 3 && u <> fresh) (Graph.nodes (Xheal.graph eng))
+  in
+  Xheal.delete_many eng victims;
+  Alcotest.(check int) "delete_many is one repair" 1 (Monitor.repairs monitor);
+  Alcotest.(check int) "and one check" 1 (Monitor.checks monitor);
+  Alcotest.(check int) "no violations on a healthy run" 0 (Monitor.num_violations monitor);
+  (match Xheal.check eng with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "engine invariant: %s" e);
+  (* The report carries the run's counters and a sample per guarantee
+     the check exercised. *)
+  let report = Monitor.report_json monitor in
+  (match Jsonw.member "schema" report with
+  | Some (Jsonw.String "xheal-monitor/1") -> ()
+  | _ -> Alcotest.fail "report schema tag missing");
+  match Jsonw.member "samples" report with
+  | Some (Jsonw.Obj samples) ->
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k samples) then Alcotest.failf "no %s sample in report" k)
+      [ "degree"; "expansion"; "conductance"; "connectivity"; "stretch" ]
+  | _ -> Alcotest.fail "report samples missing"
+
+(* The Dist_repair seam: a clean synchronous election notes its phase
+   without noise; a phase reported unconverged becomes a Convergence
+   violation event. *)
+let test_convergence_seam () =
+  let rng = Random.State.make [| 91 |] in
+  let g = Gen.random_regular ~rng 12 4 in
+  let monitor = Monitor.create ~config:(mon_config ~seed:91) g in
+  let stats, leader =
+    Dist_repair.elect ~rng ~monitor ~members:(List.init 8 Fun.id) ()
+  in
+  Alcotest.(check bool) "sync election converges" true stats.Dist_repair.converged;
+  Alcotest.(check bool) "elected someone" true (leader <> None);
+  Alcotest.(check int) "no violation from a converged phase" 0
+    (Monitor.num_violations monitor);
+  Monitor.note_phase monitor ~phase:"repair:test" ~rounds:40 ~messages:9 ~converged:false;
+  Alcotest.(check int) "unconverged phase violates" 1 (Monitor.num_violations monitor);
+  match Monitor.violations monitor with
+  | [ v ] ->
+    Alcotest.(check bool) "guarantee is convergence" true
+      (v.Monitor.v_guarantee = Monitor.Convergence);
+    Alcotest.(check int) "time is the phase's rounds" 40 v.Monitor.v_time
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let test_create_validation () =
+  let g = Graph.create () in
+  Graph.add_node g 0;
+  Alcotest.(check bool) "cadence 0 rejected" true
+    (try
+       ignore (Monitor.create ~config:{ Monitor.default_config with Monitor.cadence = 0 } g);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "exact_limit beyond Cuts cap rejected" true
+    (try
+       ignore
+         (Monitor.create ~config:{ Monitor.default_config with Monitor.exact_limit = 23 } g);
+       false
+     with Invalid_argument _ -> true)
+
+(* The sweep path (n above exact_limit): samples flow, and a standard
+   seeded run on a healthy expander never trips the banded tripwire. *)
+let test_sweep_path_silent () =
+  match attack ~n:64 ~deletions:10 ~monitored:true 23 with
+  | _, _, _, _, Some m ->
+    Alcotest.(check int) "no violations on the sweep path" 0 (Monitor.num_violations m);
+    let expansion_samples =
+      List.filter
+        (fun e ->
+          match e with
+          | Monitor.Sample s -> s.Monitor.s_guarantee = Monitor.Expansion
+          | Monitor.Violation _ -> false)
+        (Monitor.events m)
+    in
+    Alcotest.(check int) "one expansion sample per check" (Monitor.checks m)
+      (List.length expansion_samples)
+  | _ -> Alcotest.fail "no monitor"
+
+let suite =
+  [
+    ( "monitor",
+      [
+        QCheck_alcotest.to_alcotest test_monitor_passive_qcheck;
+        Alcotest.test_case "passivity pinned on two seeds" `Quick test_monitor_passive_pinned;
+        Alcotest.test_case "event log and report are byte-deterministic" `Quick
+          test_event_log_deterministic;
+        Alcotest.test_case "expansion fires exactly on the degree-<=2 corner" `Slow
+          test_degree2_corner_exhaustive;
+        Alcotest.test_case "shadow insert + delete_many" `Quick
+          test_shadow_insert_delete_many;
+        Alcotest.test_case "dist_repair convergence seam" `Quick test_convergence_seam;
+        Alcotest.test_case "config validation" `Quick test_create_validation;
+        Alcotest.test_case "sweep path stays silent on healthy runs" `Quick
+          test_sweep_path_silent;
+      ] );
+  ]

@@ -44,6 +44,44 @@ let test_jsonw_roundtrip () =
   Alcotest.(check bool) "bad token rejected" true
     (Result.is_error (Jsonw.of_string "{\"a\":nope}"))
 
+(* JSON has no non-finite literal: NaN and the infinities must print as
+   null (and therefore reparse as Null), never as "nan"/"inf" tokens
+   that would corrupt the file. Integral floats keep one fractional
+   digit so they stay floats on reparse. *)
+let test_jsonw_nonfinite () =
+  let s =
+    Jsonw.to_string
+      (Jsonw.List
+         [ Jsonw.Float Float.nan; Jsonw.Float Float.infinity;
+           Jsonw.Float Float.neg_infinity; Jsonw.Float 2.0 ])
+  in
+  Alcotest.(check string) "non-finite floats print as null" "[null,null,null,2.0]" s;
+  match Jsonw.of_string s with
+  | Ok (Jsonw.List [ Jsonw.Null; Jsonw.Null; Jsonw.Null; Jsonw.Float _ ]) -> ()
+  | Ok _ -> Alcotest.fail "unexpected reparse shape"
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+(* Every byte below 0x20 must leave the writer escaped (named escapes
+   for \n \r \t, \u00XX otherwise) and survive a parse roundtrip. *)
+let test_jsonw_control_chars () =
+  let s = String.init 0x20 Char.chr ^ "end\"quote" in
+  let printed = Jsonw.to_string (Jsonw.String s) in
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 then
+        Alcotest.failf "raw control byte 0x%02x in output" (Char.code c))
+    printed;
+  (match Jsonw.of_string printed with
+  | Ok (Jsonw.String s') -> Alcotest.(check string) "control-char roundtrip" s s'
+  | Ok _ -> Alcotest.fail "control-char string reparsed as non-string"
+  | Error e -> Alcotest.failf "control-char reparse failed: %s" e);
+  (* The reader accepts ASCII \u escapes and rejects multi-byte ones. *)
+  (match Jsonw.of_string "\"\\u0041\"" with
+  | Ok (Jsonw.String "A") -> ()
+  | _ -> Alcotest.fail "\\u0041 did not parse as A");
+  Alcotest.(check bool) "non-ASCII \\u escape rejected" true
+    (Result.is_error (Jsonw.of_string "\"\\u2603\""))
+
 (* ---------- Metrics: histogram bucketing ---------- *)
 
 let test_histogram_bucketing () =
@@ -74,6 +112,33 @@ let test_histogram_bucketing () =
        ignore (Metrics.counter reg "h");
        false
      with Invalid_argument _ -> true)
+
+(* Deterministic histogram summaries: count/sum/min/max/mean, all-zero
+   on an empty histogram (no NaN mean), and [summaries] lists every
+   histogram in the registry's sorted order. *)
+let test_metrics_summary () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" ~buckets:[| 10 |] in
+  List.iter (Metrics.observe h) [ 4; 10; 1 ];
+  let s = Metrics.summary h in
+  Alcotest.(check int) "count" 3 s.Metrics.s_count;
+  Alcotest.(check int) "sum" 15 s.Metrics.s_sum;
+  Alcotest.(check int) "min" 1 s.Metrics.s_min;
+  Alcotest.(check int) "max" 10 s.Metrics.s_max;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Metrics.s_mean;
+  let e = Metrics.summary (Metrics.histogram reg "empty" ~buckets:[| 1 |]) in
+  Alcotest.(check int) "empty count" 0 e.Metrics.s_count;
+  Alcotest.(check (float 0.)) "empty mean is 0, not NaN" 0.0 e.Metrics.s_mean;
+  Alcotest.(check int) "empty min" 0 e.Metrics.s_min;
+  ignore (Metrics.counter reg "not-a-histogram");
+  Alcotest.(check (list string)) "summaries: histograms only, sorted"
+    [ "empty"; "lat" ]
+    (List.map fst (Metrics.summaries reg));
+  match Metrics.summary_json s with
+  | Jsonw.Obj fields ->
+    Alcotest.(check (list string)) "summary_json field order"
+      [ "count"; "sum"; "min"; "max"; "mean" ] (List.map fst fields)
+  | _ -> Alcotest.fail "summary_json is not an object"
 
 (* ---------- Tracer: nesting and orphan detection ---------- *)
 
@@ -226,6 +291,32 @@ let test_chrome_export () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "export is not valid JSON: %s" e
 
+(* An empty tracer — and one holding only track-name metadata, the
+   "named but never used" shape a monitor-less run leaves behind — must
+   still export valid Chrome JSON. *)
+let test_chrome_export_empty () =
+  let tr = Tracer.create () in
+  (match Jsonw.of_string (Chrome_trace.to_string tr) with
+  | Ok json -> (
+    match Jsonw.member "traceEvents" json with
+    | Some (Jsonw.List []) -> ()
+    | Some (Jsonw.List _) -> Alcotest.fail "empty tracer exported events"
+    | _ -> Alcotest.fail "no traceEvents array")
+  | Error e -> Alcotest.failf "empty export is not valid JSON: %s" e);
+  Tracer.name_track tr ~track:3 "idle track";
+  match Jsonw.of_string (Chrome_trace.to_string tr) with
+  | Ok json -> (
+    match Jsonw.member "traceEvents" json with
+    | Some (Jsonw.List events) ->
+      List.iter
+        (fun e ->
+          match Jsonw.member "ph" e with
+          | Some (Jsonw.String "M") -> ()
+          | _ -> Alcotest.fail "event-free track exported a non-metadata event")
+        events
+    | _ -> Alcotest.fail "no traceEvents array")
+  | Error e -> Alcotest.failf "metadata-only export is not valid JSON: %s" e
+
 (* ---------- Netsim stats come from the registry ---------- *)
 
 let test_per_type_consistency () =
@@ -333,7 +424,10 @@ let suite =
     ( "obs",
       [
         Alcotest.test_case "jsonw roundtrip" `Quick test_jsonw_roundtrip;
+        Alcotest.test_case "jsonw non-finite floats" `Quick test_jsonw_nonfinite;
+        Alcotest.test_case "jsonw control-char escaping" `Quick test_jsonw_control_chars;
         Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+        Alcotest.test_case "histogram summaries" `Quick test_metrics_summary;
         Alcotest.test_case "span nesting and orphans" `Quick test_span_nesting;
         Alcotest.test_case "set_base offsets phases" `Quick test_set_base;
         Alcotest.test_case "aggregate: nesting and self times" `Quick
@@ -343,6 +437,8 @@ let suite =
         Alcotest.test_case "aggregate: set_base phases and zero-duration" `Quick
           test_aggregate_phases_and_zero;
         Alcotest.test_case "chrome trace export shape" `Quick test_chrome_export;
+        Alcotest.test_case "chrome trace export: empty and idle tracks" `Quick
+          test_chrome_export_empty;
         Alcotest.test_case "per-type stats source from registry" `Quick
           test_per_type_consistency;
         Alcotest.test_case "faulty async repair exports byte-identically" `Quick
