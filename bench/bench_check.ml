@@ -94,6 +94,44 @@ let check_e15 = function
     end
   | _ -> fail "e15_repricing element is not an object"
 
+(* E17 detector rows. Crash cells must have confirmed every trial and
+   report a positive latency no later than the run could possibly
+   observe one; quiet cells must keep phantom confirmations to at most
+   10% of trials. The mean/max pair is cross-checked for coherence
+   instead of re-deriving the mean (per-trial latencies are not in the
+   row). *)
+let check_e17 = function
+  | J.Obj _ as row ->
+    let mode = get_string "mode" row in
+    if mode <> "crash" && mode <> "quiet" then fail "unknown e17 mode %S" mode;
+    let loss = get_number "loss" row in
+    if not (loss >= 0. && loss <= 1.) then fail "e17 loss %f outside [0,1]" loss;
+    if get_int "fairness" row < 1 then fail "e17 fairness below 1";
+    let trials = get_int "trials" row in
+    let detected = get_int "detected" row in
+    if trials <= 0 then fail "e17 cell ran no trials";
+    if detected < 0 || detected > trials then
+      fail "e17 cell detected %d outside [0, %d]" detected trials;
+    let mean_lat = get_number "mean_latency" row in
+    let max_lat = get_int "max_latency" row in
+    let bound = get_int "bound" row in
+    if bound <= 0 then fail "e17 cell has a non-positive bound";
+    if not (Float.is_finite mean_lat) then fail "e17 cell non-finite mean latency";
+    if detected = 0 && (mean_lat <> 0. || max_lat <> 0) then
+      fail "e17 cell reports latency without a detection";
+    if detected > 0 && (mean_lat <= 0. || mean_lat > float_of_int max_lat) then
+      fail "e17 cell mean latency %f incoherent with max %d" mean_lat max_lat;
+    if mode = "crash" then begin
+      if detected <> trials then
+        fail "e17 crash cell missed %d of %d crashes" (trials - detected) trials
+    end
+    else if detected * 10 > trials then
+      fail "e17 quiet cell confirmed %d phantom deaths in %d trials" detected trials;
+    if get_int "suspicions" row < 0 || get_int "refutations" row < 0 then
+      fail "e17 cell has negative counters";
+    if get_int "messages" row <= 0 then fail "e17 cell carried no messages"
+  | _ -> fail "e17_detector element is not an object"
+
 (* Scaling-tier rows. Each cell must carry its schema tag, a nonzero
    amount of actual repair work, and a wall time inside its declared
    budget — the budget is the scaling tier's regression tripwire.
@@ -217,6 +255,12 @@ let check_file path =
   | None -> ());
   (match J.member "e16_monitor" json with
   | Some row -> check_e16 row
+  | None -> ());
+  (match J.member "e17_detector" json with
+  | Some (J.List rows) ->
+    if rows = [] then fail "e17_detector array is empty";
+    List.iter check_e17 rows
+  | Some _ -> fail "field \"e17_detector\" is not an array"
   | None -> ());
   Printf.printf "%s: ok (%s, wall %.1f ms)\n" path name wall;
   json

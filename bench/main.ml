@@ -156,11 +156,34 @@ let scenario_experiments ~quick =
           ])
       (Xheal_experiments.E15_repricing.rows ())
   in
+  (* E17's detector sweep: crash cells (detection latency vs bound under
+     loss x fairness) and crash-free cells (false-suspicion refutation).
+     Counters are deterministic ints, so the baseline pins them exactly. *)
+  let e17_rows =
+    List.map
+      (fun (r : Xheal_experiments.E17_detector.row) ->
+        Jsonw.Obj
+          [
+            ("loss", Jsonw.Float r.loss);
+            ("fairness", Jsonw.Int r.fairness);
+            ("mode", Jsonw.String (if r.crashed then "crash" else "quiet"));
+            ("trials", Jsonw.Int r.trials);
+            ("detected", Jsonw.Int r.detected);
+            ("mean_latency", finite_num r.mean_latency);
+            ("max_latency", Jsonw.Int r.max_latency);
+            ("bound", Jsonw.Int r.bound);
+            ("suspicions", Jsonw.Int r.suspicions);
+            ("refutations", Jsonw.Int r.refutations);
+            ("messages", Jsonw.Int r.messages);
+          ])
+      (Xheal_experiments.E17_detector.rows ())
+  in
   write_bench ~name:"experiments" ~quick ~wall_ms
     [
       ("ok", Jsonw.Bool ok);
       ("byzantine_overhead", Jsonw.List overhead_rows);
       ("e15_repricing", Jsonw.List e15_rows);
+      ("e17_detector", Jsonw.List e17_rows);
     ];
   print_newline ();
   ok

@@ -298,7 +298,18 @@ let report_cmd =
   let out =
     Arg.(value & opt string "report.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Repair-report JSON output file.")
   in
-  let run verbose shape steps seed cadence events_out out =
+  let detector =
+    Arg.(
+      value & flag
+      & info [ "detector" ]
+          ~doc:
+            "Replace the deletion oracle with the heartbeat failure detector: every \
+             deletion is preceded by a billed 'detect' phase over the victim's \
+             neighbourhood, and the report gains a detector block (suspicion/refutation \
+             counters, detection-latency summary, Detection-guarantee violations). Off, \
+             the output is byte-identical to builds without this flag.")
+  in
+  let run verbose shape steps seed cadence events_out out detector =
     setup_logs verbose;
     if cadence < 1 then `Error (false, "cadence must be >= 1")
     else begin
@@ -320,14 +331,23 @@ let report_cmd =
           initial
       in
       let obs = Scope.create () in
-      let eng = Xheal_core.Xheal.create ~cfg ~obs ~monitor ~rng initial in
+      let detect_cfg = Xheal_fault.Detect.make ~seed:(seed + 7) () in
+      let backend =
+        if detector then
+          Some (Xheal_distributed.Pricing.backend ~seed:(seed + 3) ~d:cfg.Xheal_core.Config.d ())
+        else None
+      in
+      let trigger =
+        if detector then Xheal_core.Xheal.Detector detect_cfg else Xheal_core.Xheal.Oracle
+      in
+      let eng = Xheal_core.Xheal.create ~cfg ~obs ~monitor ?backend ~rng initial in
       let atk = Random.State.make [| seed + 1 |] in
       let repairs = ref [] in
       for _ = 1 to steps do
         let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
         if List.length nodes > 4 then begin
           let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
-          Xheal_core.Xheal.delete eng v;
+          Xheal_core.Xheal.delete ~trigger eng v;
           Option.iter (fun r -> repairs := r :: !repairs) (Xheal_core.Xheal.last_report eng)
         end
       done;
@@ -354,20 +374,67 @@ let report_cmd =
             ("phases", Jsonw.List (List.map phase_json r.Cost.phases));
           ]
       in
+      let detector_block =
+        if not detector then []
+        else begin
+          let counters = Metrics.counters obs.Scope.metrics in
+          let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+          let latencies =
+            List.filter_map
+              (function
+                | Monitor.Sample s when s.Monitor.s_guarantee = Monitor.Detection ->
+                  Some s.Monitor.s_value
+                | _ -> None)
+              (Monitor.events monitor)
+          in
+          let missed =
+            List.length
+              (List.filter
+                 (fun (v : Monitor.violation) -> v.Monitor.v_guarantee = Monitor.Detection)
+                 (Monitor.violations monitor))
+          in
+          let mean =
+            if latencies = [] then 0.0
+            else List.fold_left ( +. ) 0.0 latencies /. float_of_int (List.length latencies)
+          in
+          [
+            ( "detector",
+              Jsonw.Obj
+                [
+                  ( "config",
+                    Jsonw.Obj
+                      [
+                        ("period", Jsonw.Int detect_cfg.Xheal_fault.Detect.period);
+                        ("timeout", Jsonw.Int detect_cfg.Xheal_fault.Detect.timeout);
+                        ("ladder", Jsonw.Int detect_cfg.Xheal_fault.Detect.ladder);
+                        ("confirm", Jsonw.Int detect_cfg.Xheal_fault.Detect.confirm);
+                        ("horizon", Jsonw.Int detect_cfg.Xheal_fault.Detect.horizon);
+                      ] );
+                  ("suspicions", Jsonw.Int (c "xheal.detect.suspicions"));
+                  ("refutations", Jsonw.Int (c "xheal.detect.refutations"));
+                  ("confirmations", Jsonw.Int (c "xheal.detect.confirmations"));
+                  ("detections", Jsonw.Int (List.length latencies));
+                  ("mean_latency", Jsonw.Float mean);
+                  ("bound_violations", Jsonw.Int missed);
+                ] );
+          ]
+        end
+      in
       let report =
         Jsonw.Obj
-          [
-            ("schema", Jsonw.String "xheal-report/1");
-            ("seed", Jsonw.Int seed);
-            ("deletions", Jsonw.Int (List.length !repairs));
-            ("monitor", Monitor.report_json monitor);
-            ("repairs", Jsonw.List (List.rev_map repair_json !repairs));
-            ( "histograms",
-              Jsonw.Obj
-                (List.map
-                   (fun (name, s) -> (name, Metrics.summary_json s))
-                   (Metrics.summaries obs.Scope.metrics)) );
-          ]
+          ([
+             ("schema", Jsonw.String "xheal-report/1");
+             ("seed", Jsonw.Int seed);
+             ("deletions", Jsonw.Int (List.length !repairs));
+             ("monitor", Monitor.report_json monitor);
+             ("repairs", Jsonw.List (List.rev_map repair_json !repairs));
+             ( "histograms",
+               Jsonw.Obj
+                 (List.map
+                    (fun (name, s) -> (name, Metrics.summary_json s))
+                    (Metrics.summaries obs.Scope.metrics)) );
+           ]
+          @ detector_block)
       in
       let write path s =
         let oc = open_out path in
@@ -387,7 +454,9 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Run a seeded deletion attack with the invariant observatory on and export the structured event log plus a per-repair report (deterministic: same seed, byte-identical files).")
     Term.(
-      ret (const run $ verbose_flag $ shape $ steps $ seed $ cadence $ events_out $ out))
+      ret
+        (const run $ verbose_flag $ shape $ steps $ seed $ cadence $ events_out $ out
+       $ detector))
 
 (* ---------- list command ---------- *)
 

@@ -126,6 +126,14 @@ type backend = {
     phase:int ->
     clouds:(int list * (int * int) list) list ->
     measured;
+  run_detect :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    victim:int ->
+    peers:int list ->
+    config:Xheal_fault.Detect.t ->
+    measured * Xheal_fault.Detect.outcome;
 }
 
 type totals = {

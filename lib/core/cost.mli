@@ -108,6 +108,19 @@ type backend = {
     measured;
       (** BFS/convergecast over the union of the given cloud snapshots
           ([members, current edges] each), then rebuild. *)
+  run_detect :
+    plan:Xheal_fault.Fault_plan.t ->
+    schedule:Xheal_fault.Schedule.t ->
+    phase:int ->
+    victim:int ->
+    peers:int list ->
+    config:Xheal_fault.Detect.t ->
+    measured * Xheal_fault.Detect.outcome;
+      (** Heartbeat failure detection over the NoN clique of [victim] and
+          its [peers]: the simulated discovery of the crash that triggers
+          the repair, replacing the deletion oracle. Returns the measured
+          traffic and the detection outcome (latency rebased to the
+          simulated crash time). *)
 }
 
 type totals = {

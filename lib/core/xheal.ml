@@ -2,6 +2,9 @@ module Graph = Xheal_graph.Graph
 module Edge = Xheal_graph.Edge
 module Fault_plan = Xheal_fault.Fault_plan
 module Schedule = Xheal_fault.Schedule
+module Detect = Xheal_fault.Detect
+
+type trigger = Oracle | Detector of Detect.t
 
 let log_src = Logs.Src.create "xheal.engine" ~doc:"Xheal repair engine"
 
@@ -471,6 +474,60 @@ let monitor_touched t ~blacks ~clouds =
   | Some _ ->
     List.sort_uniq Int.compare (blacks @ List.concat_map Cloud.members clouds)
 
+(* ------------------------------------------------------------------ *)
+(* Detector-triggered deletion. Under [Detector cfg] the engine no
+   longer tells the neighbourhood who died: the backend runs the real
+   heartbeat {!Failure_detector} protocol over the NoN clique of the
+   victim and its neighbours (captured before removal), the simulator
+   bill lands in the report as a "detect" phase, and the repair only
+   proceeds if the monitors actually confirmed the death. All of this
+   is reached only on the detector path — an [Oracle] delete executes
+   exactly the historical code, bit for bit. *)
+
+let detect_buckets = [| 4; 8; 16; 32; 64; 128 |]
+
+let observe_detection t (o : Detect.outcome) =
+  match t.obs with
+  | None -> ()
+  | Some sc ->
+    let reg = sc.Xheal_obs.Scope.metrics in
+    if o.Detect.detected then
+      Xheal_obs.Metrics.observe
+        (Xheal_obs.Metrics.histogram reg "xheal.detect.latency" ~buckets:detect_buckets)
+        o.Detect.latency;
+    let bump name v =
+      Xheal_obs.Metrics.incr_by (Xheal_obs.Metrics.counter reg ("xheal.detect." ^ name)) v
+    in
+    bump "suspicions" o.Detect.suspicions;
+    bump "refutations" o.Detect.refutations;
+    bump "confirmations" o.Detect.confirmations
+
+(* Returns whether the death was confirmed — [false] aborts the repair
+   upstream. The detection-latency guarantee is fed to the monitor only
+   on confirmation: an undetected crash has no latency to bound. *)
+let run_detection t ctx ~who ~victim cfg =
+  match t.backend with
+  | None -> invalid_arg (who ^ ": a Detector trigger requires a pricing backend")
+  | Some b ->
+    let peers = Graph.neighbors (graph t) victim in
+    let m, o =
+      b.Cost.run_detect ~plan:ctx.plan ~schedule:ctx.sched ~phase:(next_phase t) ~victim
+        ~peers ~config:cfg
+    in
+    charge_measured ctx "detect" m;
+    observe_detection t o;
+    (match t.monitor with
+    | Some mon when o.Detect.detected ->
+      let bound = Detect.latency_bound cfg ~fairness:(Schedule.fairness ctx.sched) in
+      Xheal_obs.Monitor.note_detection mon ~seq:t.seq ~time:t.totals.Cost.total_rounds
+        ~victim ~latency:o.Detect.latency ~bound
+    | _ -> ());
+    Log.debug (fun mf ->
+        mf "detect %d: %s (latency %d, %d suspicions, %d refutations)" victim
+          (if o.Detect.detected then "confirmed" else "undetected")
+          o.Detect.latency o.Detect.suspicions o.Detect.refutations);
+    o.Detect.detected
+
 let insert t ~node ~neighbors =
   if Graph.has_node (graph t) node then invalid_arg "Xheal.insert: node already present";
   t.seq <- t.seq + 1;
@@ -499,7 +556,7 @@ let effective ~who (t : t) plan schedule =
     invalid_arg (who ^ ": a fault plan or async schedule requires a pricing backend");
   (plan, sched)
 
-let delete ?plan ?schedule t v =
+let delete ?plan ?schedule ?(trigger = Oracle) t v =
   let plan, sched = effective ~who:"Xheal.delete" t plan schedule in
   if not (Graph.has_node (graph t) v) then invalid_arg "Xheal.delete: node not present";
   t.seq <- t.seq + 1;
@@ -526,6 +583,18 @@ let delete ?plan ?schedule t v =
     | None -> None
   in
   obs_start_repair t;
+  let confirmed =
+    match trigger with
+    | Oracle -> true
+    | Detector cfg ->
+      span t ctx "xheal:detect" (fun () -> run_detection t ctx ~who:"Xheal.delete" ~victim:v cfg)
+  in
+  if not confirmed then
+    (* Undetected death: the network never learns of the crash, so no
+       repair fires and the topology is untouched — only the detection
+       attempt is billed. No phantom clouds, no monitor event. *)
+    finish t ctx ~black_degree:0
+  else begin
   span t ctx "xheal:delete" (fun () ->
       (* Physical removal of v, its edges, duties and memberships. *)
       Ownership.remove_node t.own v;
@@ -568,6 +637,7 @@ let delete ?plan ?schedule t v =
             make_secondary t ctx units black_nbrs));
   finish t ctx ~black_degree:black_deg;
   monitor_delete t ~victims:[ v ] ~touched:mon_touched
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Multi-deletion extension (Section 1: "Our algorithm can be extended
@@ -593,13 +663,13 @@ let resolve_cloud t id =
   in
   go id 0
 
-let delete_many ?plan ?schedule t victims =
+let delete_many ?plan ?schedule ?(trigger = Oracle) t victims =
   let eff_plan, eff_sched = effective ~who:"Xheal.delete_many" t plan schedule in
   let victims = List.sort_uniq Int.compare victims in
   let victims = List.filter (Graph.has_node (graph t)) victims in
   match victims with
   | [] -> ()
-  | [ v ] -> delete ?plan ?schedule t v
+  | [ v ] -> delete ?plan ?schedule ~trigger t v
   | _ ->
     t.seq <- t.seq + 1;
     let ctx =
@@ -611,6 +681,20 @@ let delete_many ?plan ?schedule t victims =
       }
     in
     obs_start_repair t;
+    (* Detector-triggered batch: each crash must be independently
+       confirmed by its own neighbourhood before it joins the batch
+       repair; undetected victims stay in the graph untouched. *)
+    let victims =
+      match trigger with
+      | Oracle -> victims
+      | Detector cfg ->
+        span t ctx "xheal:detect" (fun () ->
+            List.filter
+              (fun v -> run_detection t ctx ~who:"Xheal.delete_many" ~victim:v cfg)
+              victims)
+    in
+    if victims = [] then finish t ctx ~black_degree:0
+    else begin
     let mon_touched = ref [] in
     let total_black =
       span t ctx "xheal:delete-many" (fun () ->
@@ -733,6 +817,7 @@ let delete_many ?plan ?schedule t victims =
     t.totals <-
       { t.totals with Cost.deletions = t.totals.Cost.deletions + List.length victims - 1 };
     monitor_delete t ~victims ~touched:!mon_touched
+    end
 
 (* ------------------------------------------------------------------ *)
 

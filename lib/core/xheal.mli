@@ -29,6 +29,21 @@
 
 type t
 
+type trigger = Oracle | Detector of Xheal_fault.Detect.t
+(** How a deletion becomes known to the network. [Oracle] is the
+    historical model: the adversary's removal is announced to the
+    neighbourhood by fiat, and repair starts immediately — bit-identical
+    to builds that predate this type. [Detector cfg] replaces the oracle
+    with the end-to-end detection loop: the pricing backend runs the
+    heartbeat {!Xheal_distributed.Failure_detector} protocol (configured
+    by [cfg]) over the NoN clique of the victim and its neighbours under
+    the effective fault plan and schedule, bills it as a ["detect"]
+    phase, and the repair fires only if the monitors confirm the death.
+    An unconfirmed death aborts the deletion cleanly: the victim stays
+    in the graph, no clouds are built, and only the detection attempt is
+    charged. Detector triggers require a pricing backend even under a
+    lossless plan (detection is a protocol, not a closed form). *)
+
 val create :
   ?cfg:Config.t ->
   ?obs:Xheal_obs.Scope.t ->
@@ -99,15 +114,30 @@ val insert : t -> node:int -> neighbors:int list -> unit
 (** Adversarial insertion. Unknown neighbour ids are ignored; inserting
     an existing node raises [Invalid_argument]. *)
 
-val delete : ?plan:Xheal_fault.Fault_plan.t -> ?schedule:Xheal_fault.Schedule.t -> t -> int -> unit
+val delete :
+  ?plan:Xheal_fault.Fault_plan.t ->
+  ?schedule:Xheal_fault.Schedule.t ->
+  ?trigger:trigger ->
+  t ->
+  int ->
+  unit
 (** Adversarial deletion plus repair. [plan] / [schedule] override the
     engine's ambient delivery model for this one repair (see {!create});
-    omitted, the ambient ones apply.
-    @raise Invalid_argument if the node is absent, or if the effective
-    plan/schedule is faulty and the engine has no pricing backend. *)
+    omitted, the ambient ones apply. [trigger] (default {!Oracle})
+    selects how the network learns of the death — see {!trigger}; under
+    [Detector _] the repair is preceded by a billed detection phase and
+    aborts (leaving the victim in place) if the death goes unconfirmed.
+    @raise Invalid_argument if the node is absent, if the effective
+    plan/schedule is faulty and the engine has no pricing backend, or if
+    a [Detector] trigger is used without a backend. *)
 
 val delete_many :
-  ?plan:Xheal_fault.Fault_plan.t -> ?schedule:Xheal_fault.Schedule.t -> t -> int list -> unit
+  ?plan:Xheal_fault.Fault_plan.t ->
+  ?schedule:Xheal_fault.Schedule.t ->
+  ?trigger:trigger ->
+  t ->
+  int list ->
+  unit
 (** The paper's multi-deletion extension (Section 1): the adversary
     removes a whole set of nodes in one timestep; the repair runs once
     per {e damage region} instead of once per node. All victims are
@@ -118,7 +148,11 @@ val delete_many :
     Secondary clouds that lost bridges are re-anchored region-locally.
     Invariants, connectivity of each surviving component, and the
     Theorem-2.1 degree bound are preserved (see the test suite).
-    Duplicate and unknown ids are ignored. *)
+    Duplicate and unknown ids are ignored. Under a [Detector] trigger
+    every victim's crash is confirmed independently by its own
+    neighbourhood before the batch repair; undetected victims stay in
+    the graph untouched, and a batch in which nothing is confirmed only
+    bills its detection attempts. *)
 
 val totals : t -> Cost.totals
 

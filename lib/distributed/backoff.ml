@@ -1,6 +1,7 @@
 type t =
   | Fixed of int
   | Exponential of { base : int; cap : int; salt : int }
+  | Decorrelated of { base : int; cap : int; salt : int }
 
 let fixed every =
   if every < 1 then invalid_arg "Backoff.fixed: interval must be >= 1";
@@ -10,6 +11,11 @@ let exponential ?(salt = 0) ~base ~cap () =
   if base < 1 then invalid_arg "Backoff.exponential: base must be >= 1";
   if cap < base then invalid_arg "Backoff.exponential: cap must be >= base";
   Exponential { base; cap; salt }
+
+let decorrelated ?(salt = 0) ~base ~cap () =
+  if base < 1 then invalid_arg "Backoff.decorrelated: base must be >= 1";
+  if cap < base then invalid_arg "Backoff.decorrelated: cap must be >= base";
+  Decorrelated { base; cap; salt }
 
 (* Same avalanche as {!Schedule.mix}: jitter must be a pure function of
    (salt, node, attempt) so retries replay deterministically. *)
@@ -37,12 +43,29 @@ let interval t ~node ~attempt =
       else mix (salt + mix ((node * 65_537) + attempt)) mod (1 + (raw / 2))
     in
     min cap (raw + jitter)
+  | Decorrelated { base; cap; salt } ->
+    (* Decorrelated jitter, sleep_n = uniform(base, min cap (3*sleep_{n-1})),
+       made deterministic by replacing the uniform draw with the avalanche
+       hash of (salt, node, step). Replaying the chain from [base] each
+       call keeps the policy stateless; only a constant-length suffix of
+       the chain is walked so the hot path stays O(1) in [attempt]. The
+       result is still a pure function of (policy, node, attempt). *)
+    let first = max 0 (attempt - 11) in
+    let prev = ref base in
+    for i = first to attempt do
+      let hi = max (base + 1) (min cap (3 * !prev)) in
+      let u = mix (salt + mix ((node * 65_537) + i)) mod (hi - base + 1) in
+      prev := base + u
+    done;
+    max 1 !prev
 
 let max_interval = function
   | Fixed every -> every
-  | Exponential { cap; _ } -> cap
+  | Exponential { cap; _ } | Decorrelated { cap; _ } -> cap
 
 let pp ppf = function
   | Fixed every -> Format.fprintf ppf "backoff(fixed=%d)" every
   | Exponential { base; cap; salt } ->
     Format.fprintf ppf "backoff(exp, base=%d, cap=%d, salt=%d)" base cap salt
+  | Decorrelated { base; cap; salt } ->
+    Format.fprintf ppf "backoff(decorrelated, base=%d, cap=%d, salt=%d)" base cap salt

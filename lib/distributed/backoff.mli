@@ -10,11 +10,21 @@ type t =
   | Exponential of { base : int; cap : int; salt : int }
       (** Wait [min cap (base * 2^attempt)] plus deterministic jitter of
           at most half the raw interval, never exceeding [cap]. *)
+  | Decorrelated of { base : int; cap : int; salt : int }
+      (** Seeded decorrelated jitter: each wait is drawn (by avalanche
+          hash, no RNG) from [base .. min cap (3 * previous wait)] — the
+          classic "decorrelated jitter" chain, which spreads retries
+          across the whole [base, cap] band instead of clustering them
+          at powers of two. The self-tuning transport escalates to this
+          policy when its loss estimate crosses the stormy threshold. *)
 
 val fixed : int -> t
 (** @raise Invalid_argument when the interval is [< 1]. *)
 
 val exponential : ?salt:int -> base:int -> cap:int -> unit -> t
+(** @raise Invalid_argument when [base < 1] or [cap < base]. *)
+
+val decorrelated : ?salt:int -> base:int -> cap:int -> unit -> t
 (** @raise Invalid_argument when [base < 1] or [cap < base]. *)
 
 val interval : t -> node:int -> attempt:int -> int

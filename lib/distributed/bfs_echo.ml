@@ -109,12 +109,20 @@ type nstatus = Child | NonChild
    unregistered (or never visited), never confirm, and are discarded
    after [give_up] query attempts — so an equivocator can delay the
    echo but not pad the collected component. *)
-let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
+let install_robust ?obs ?(retry_every = 3) ?backoff ?tuner ?(defense = Defense.none)
     ?(give_up = 12) net ~graph ~root =
   if not (Graph.has_node graph root) then
     invalid_arg "Bfs_echo.install_robust: root not in graph";
   let policy =
     match backoff with Some b -> b | None -> Backoff.fixed retry_every
+  in
+  let pace ~node ~attempt =
+    match tuner with
+    | Some tn -> Loss_estimator.interval tn ~node ~attempt
+    | None -> Backoff.interval policy ~node ~attempt
+  in
+  let tune ~node ~ok =
+    match tuner with Some tn -> Loss_estimator.observe tn ~node ~ok | None -> ()
   in
   let quorum = defense.Defense.subtree_quorum in
   let result = ref None in
@@ -123,6 +131,7 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
       let visited = ref false in
       let parent = ref None in
       let up_acked = ref false in
+      let sent_up = ref false in
       let next_retry = ref 0 in
       let attempt = ref 0 in
       let nbrs = Graph.neighbors graph u in
@@ -146,7 +155,7 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
         let out = ref [] in
         let retry_due = now >= !next_retry in
         if retry_due then begin
-          next_retry := now + Backoff.interval policy ~node:u ~attempt:!attempt;
+          next_retry := now + pace ~node:u ~attempt:!attempt;
           incr attempt
         end;
         let newly_visited = ref false in
@@ -166,11 +175,15 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
               end
               else if !parent = Some src then out := (src, Msg.Accept) :: !out
               else out := (src, Msg.Reject) :: !out
-            | Msg.Accept -> Hashtbl.replace status src Child
+            | Msg.Accept ->
+              if not (Hashtbl.mem status src) then tune ~node:u ~ok:true;
+              Hashtbl.replace status src Child
             | Msg.Reject -> (
               match Hashtbl.find_opt status src with
               | Some Child -> ()
-              | _ -> Hashtbl.replace status src NonChild)
+              | _ ->
+                if not (Hashtbl.mem status src) then tune ~node:u ~ok:true;
+                Hashtbl.replace status src NonChild)
             | Msg.Subtree addrs ->
               if quorum then begin
                 if
@@ -198,7 +211,11 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
                 out := (src, Msg.Vote { claim = u; accept = true }) :: !out
             | Msg.Vote { claim; accept = true } ->
               if src = claim then Hashtbl.replace verified claim ()
-            | Msg.Ack -> if !parent = Some src then up_acked := true
+            | Msg.Ack ->
+              if !parent = Some src then begin
+                if not !up_acked then tune ~node:u ~ok:true;
+                up_acked := true
+              end
             | _ -> ())
           inbox;
         if quorum then begin
@@ -235,10 +252,15 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
         if !visited then begin
           let others = List.filter (fun v -> Some v <> !parent) nbrs in
           let unresolved = List.filter (fun v -> not (Hashtbl.mem status v)) others in
-          if !newly_visited || (retry_due && unresolved <> []) then
+          if !newly_visited || (retry_due && unresolved <> []) then begin
+            (* A retry past the initial flood means some Explore (or its
+               answer) went missing — loss evidence for the tuner. *)
+            if (not !newly_visited) && retry_due && unresolved <> [] then
+              tune ~node:u ~ok:false;
             List.iter
               (fun v -> out := (v, Msg.Explore { root; dist = now }) :: !out)
-              unresolved;
+              unresolved
+          end;
           let complete =
             unresolved = []
             && List.for_all
@@ -263,8 +285,11 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
                 Proto_obs.instant obs ~track:u ~name:"collected" ~now
               end
             end
-            else if (not !up_acked) && retry_due then
+            else if (not !up_acked) && retry_due then begin
+              if !sent_up then tune ~node:u ~ok:false;
+              sent_up := true;
               out := (Option.get !parent, Msg.Subtree collected) :: !out
+            end
           end
         end;
         !out
@@ -274,14 +299,20 @@ let install_robust ?obs ?(retry_every = 3) ?backoff ?(defense = Defense.none)
   fun () -> !result
 
 let run_robust ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync) ?retry_every
-    ?backoff ?defense ?give_up ?max_rounds ~graph ~root () =
+    ?backoff ?tuner ?defense ?give_up ?max_rounds ~graph ~root () =
   Proto_obs.with_span obs "bfs-echo" (fun () ->
       let net = Netsim.create ?obs () in
-      let get = install_robust ?obs ?retry_every ?backoff ?defense ?give_up net ~graph ~root in
+      let get =
+        install_robust ?obs ?retry_every ?backoff ?tuner ?defense ?give_up net ~graph
+          ~root
+      in
       let max_wait =
-        match backoff with
-        | Some b -> Backoff.max_interval b
-        | None -> Option.value ~default:3 retry_every
+        match tuner with
+        | Some tn -> Loss_estimator.max_interval tn
+        | None -> (
+          match backoff with
+          | Some b -> Backoff.max_interval b
+          | None -> Option.value ~default:3 retry_every)
       in
       let grace = (2 * max_wait) + 2 in
       let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in

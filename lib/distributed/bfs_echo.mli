@@ -24,6 +24,7 @@ val install_robust :
   ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.t ->
   ?give_up:int ->
   Netsim.t ->
@@ -42,6 +43,11 @@ val install_robust :
 
     [backoff] (default [Backoff.fixed retry_every]) paces all retry
     loops (Explore re-floods, Subtree re-echoes, quorum re-queries).
+    [tuner] (default: none) replaces the static policy with the
+    self-tuning {!Loss_estimator}: first answers from neighbours and
+    the parent's ack count as delivery evidence, expired retries count
+    as loss evidence, and pacing follows the estimator's calm/stormy
+    selection.
 
     With [defense.subtree_quorum] on, a child's [Subtree] claim is
     parked until every claimed member confirms its own participation
@@ -56,6 +62,7 @@ val run_robust :
   ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.t ->
   ?give_up:int ->
   ?max_rounds:int ->

@@ -32,7 +32,9 @@ let hash ~seed ~src ~dst ~k =
 let targeted (msg : Msg.t) =
   match msg with
   | Challenge _ | Victory _ | Subtree _ | Edges _ -> true
-  | Explore _ | Accept | Reject | Hello | Ack | Confirm _ | Vote _ -> false
+  | Explore _ | Accept | Reject | Hello | Ack | Confirm _ | Vote _ | Beat | Suspect _
+  | Refute _ ->
+    false
 
 let phantom h = phantom_base + (h land 0xFFFF)
 

@@ -43,13 +43,21 @@ let plan_edges ~rng ~d members =
    unbounded retries — a crashed (registered) peer then shows up as
    [converged = false]. *)
 let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?(retry_every = 3) ?backoff ?(defense = Defense.none) ?(give_up = 12) ?max_rounds
+    ?(retry_every = 3) ?backoff ?tuner ?(defense = Defense.none) ?(give_up = 12) ?max_rounds
     ~d ~leader ~members () =
   if not (List.mem leader members) then
     invalid_arg "Cloud_build.run_robust: leader must be a member";
   Proto_obs.with_span obs "cloud-build" (fun () ->
   let policy =
     match backoff with Some b -> b | None -> Backoff.fixed retry_every
+  in
+  let pace ~node ~attempt =
+    match tuner with
+    | Some tn -> Loss_estimator.interval tn ~node ~attempt
+    | None -> Backoff.interval policy ~node ~attempt
+  in
+  let tune ~node ~ok =
+    match tuner with Some tn -> Loss_estimator.observe tn ~node ~ok | None -> ()
   in
   let mutual = defense.Defense.edge_mutual in
   let edges = plan_edges ~rng ~d members in
@@ -72,7 +80,7 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
         let out = ref [] in
         let retry_due = now >= !next_retry in
         if retry_due then begin
-          next_retry := now + Backoff.interval policy ~node:u ~attempt:!attempt;
+          next_retry := now + pace ~node:u ~attempt:!attempt;
           incr attempt
         end;
         let fresh = ref (now = 0 && u = leader) in
@@ -93,14 +101,22 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
                 Hashtbl.replace got_hello src ();
                 if src < u then out := (src, Msg.Hello) :: !out
               end
-            | Msg.Ack -> if u = leader then Hashtbl.replace edges_acked src ()
+            | Msg.Ack ->
+              if u = leader then begin
+                if not (Hashtbl.mem edges_acked src) then tune ~node:u ~ok:true;
+                Hashtbl.replace edges_acked src ()
+              end
             | _ -> ())
           inbox;
         if u = leader && retry_due then
           List.iter
             (fun v ->
-              if v <> leader && not (Hashtbl.mem edges_acked v) then
-                out := (v, Msg.Edges (incident v)) :: !out)
+              if v <> leader && not (Hashtbl.mem edges_acked v) then begin
+                (* Re-sends past the wake-up broadcast mean the previous
+                   Edges went unacked — loss evidence for the tuner. *)
+                if now > 0 then tune ~node:u ~ok:false;
+                out := (v, Msg.Edges (incident v)) :: !out
+              end)
             members;
         let pending =
           List.filter (fun p -> p > u && not (Hashtbl.mem got_hello p)) (peers ())
@@ -119,7 +135,10 @@ let run_robust ~rng ?obs ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
       Netsim.add_node net u handler)
     members;
   let max_wait =
-    match backoff with Some b -> Backoff.max_interval b | None -> retry_every
+    match tuner with
+    | Some tn -> Loss_estimator.max_interval tn
+    | None -> (
+      match backoff with Some b -> Backoff.max_interval b | None -> retry_every)
   in
   let grace = (2 * max_wait) + 2 in
   let stats = Netsim.run ?max_rounds ~plan ~grace ~schedule net in

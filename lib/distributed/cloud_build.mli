@@ -23,6 +23,7 @@ val run_robust :
   ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.t ->
   ?give_up:int ->
   ?max_rounds:int ->
@@ -43,6 +44,11 @@ val run_robust :
 
     [backoff] (default [Backoff.fixed retry_every]) paces the Edges and
     Hello retry loops; the grace window covers its longest interval.
+    [tuner] (default: none) replaces the static policy with the
+    self-tuning {!Loss_estimator}: the leader's ack/expired-retry
+    outcomes feed the estimate, and pacing follows the estimator's
+    calm/stormy selection (the grace window then covers both
+    policies).
 
     With [defense.edge_mutual] on, the responding (higher-id) endpoint
     answers a Hello only when the initiator appears in its own incident

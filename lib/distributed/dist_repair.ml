@@ -149,8 +149,8 @@ let note_monitor monitor phase (s : stats) =
 
 let default_policy = Defense.Static Defense.none
 
-let build_phase ~rng ?obs ?backoff ?(defense = default_policy) ~plan ~schedule ?max_rounds
-    ~d ~leader ~members acc =
+let build_phase ~rng ?obs ?backoff ?tuner ?(defense = default_policy) ~plan ~schedule
+    ?max_rounds ~d ~leader ~members acc =
   if simple plan schedule then
     let s, _ = Cloud_build.run ~rng ?obs ~d ~leader ~members () in
     finish_phase obs "cloud-build" s acc
@@ -160,15 +160,16 @@ let build_phase ~rng ?obs ?backoff ?(defense = default_policy) ~plan ~schedule ?
         ~suspect:(fun s edges -> build_suspicious ~members s edges)
         ~run:(fun dfn ->
           Cloud_build.run_robust ~rng ?obs ~plan:(phase_plan plan 2)
-            ~schedule:(phase_sched schedule 2) ?backoff ~defense:dfn ?max_rounds ~d ~leader
-            ~members ())
+            ~schedule:(phase_sched schedule 2) ?backoff ?tuner ~defense:dfn ?max_rounds ~d
+            ~leader ~members ())
         acc
     in
     acc
 
 (* The election phase (fast path or hardened-with-escalation), folded
    into [acc]; returns the elected leader too. *)
-let elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members acc =
+let elect_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds ~members
+    acc =
   if simple plan schedule then begin
     let elect_stats, leader = Election.run ~rng ?obs members in
     (finish_phase obs "election" elect_stats acc, leader)
@@ -180,15 +181,15 @@ let elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members
         let beliefs = Hashtbl.create (List.length members) in
         let s, leader =
           Election.run_robust ~rng ?obs ~plan:(phase_plan plan 1)
-            ~schedule:(phase_sched schedule 1) ?backoff ~defense:dfn ~beliefs ?max_rounds
-            members
+            ~schedule:(phase_sched schedule 1) ?backoff ?tuner ~defense:dfn ~beliefs
+            ?max_rounds members
         in
         (s, (leader, beliefs)))
       acc
     |> fun (acc, (leader, _)) -> (acc, leader)
 
 let primary_build_named ~rng ?obs ?monitor ~span ?(plan = Fault_plan.none)
-    ?(schedule = Schedule.sync) ?backoff ?(defense = default_policy) ?max_rounds ~d
+    ?(schedule = Schedule.sync) ?backoff ?tuner ?(defense = default_policy) ?max_rounds ~d
     ~neighbors () =
   match neighbors with
   | [] -> zero
@@ -196,12 +197,12 @@ let primary_build_named ~rng ?obs ?monitor ~span ?(plan = Fault_plan.none)
     note_monitor monitor span
       (repair_span obs span (fun () ->
            let acc, leader =
-             elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds
+             elect_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds
                ~members:neighbors zero
            in
            let leader = Option.value ~default:(List.hd neighbors) leader in
-           build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
-             ~members:neighbors acc))
+           build_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds ~d
+             ~leader ~members:neighbors acc))
 
 (* Standalone phase entry points for the engine's pricing backend
    ([Pricing]): the engine prices election and build as separate cost
@@ -210,38 +211,39 @@ let primary_build_named ~rng ?obs ?monitor ~span ?(plan = Fault_plan.none)
    phase inside {!primary_build}. *)
 
 let elect ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?backoff ?(defense = default_policy) ?max_rounds ~members () =
+    ?backoff ?tuner ?(defense = default_policy) ?max_rounds ~members () =
   match members with
   | [] -> (zero, None)
   | _ ->
     let s, leader =
       repair_span obs "repair:elect" (fun () ->
-          elect_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~members zero)
+          elect_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds
+            ~members zero)
     in
     (note_monitor monitor "repair:elect" s, leader)
 
 let build ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?backoff ?(defense = default_policy) ?max_rounds ~d ~leader ~members () =
+    ?backoff ?tuner ?(defense = default_policy) ?max_rounds ~d ~leader ~members () =
   match members with
   | [] -> zero
   | _ ->
     note_monitor monitor "repair:build"
       (repair_span obs "repair:build" (fun () ->
-           build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d ~leader
-             ~members zero))
+           build_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds ~d
+             ~leader ~members zero))
 
-let primary_build ~rng ?obs ?monitor ?plan ?schedule ?backoff ?defense ?max_rounds ~d
-    ~neighbors () =
+let primary_build ~rng ?obs ?monitor ?plan ?schedule ?backoff ?tuner ?defense ?max_rounds
+    ~d ~neighbors () =
   primary_build_named ~rng ?obs ?monitor ~span:"repair:primary-build" ?plan ?schedule
-    ?backoff ?defense ?max_rounds ~d ~neighbors ()
+    ?backoff ?tuner ?defense ?max_rounds ~d ~neighbors ()
 
-let secondary_stitch ~rng ?obs ?monitor ?plan ?schedule ?backoff ?defense ?max_rounds ~d
-    ~bridges () =
+let secondary_stitch ~rng ?obs ?monitor ?plan ?schedule ?backoff ?tuner ?defense
+    ?max_rounds ~d ~bridges () =
   primary_build_named ~rng ?obs ?monitor ~span:"repair:secondary-stitch" ?plan ?schedule
-    ?backoff ?defense ?max_rounds ~d ~neighbors:bridges ()
+    ?backoff ?tuner ?defense ?max_rounds ~d ~neighbors:bridges ()
 
 let combine ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.sync)
-    ?backoff ?(defense = default_policy) ?max_rounds ~d ~union ~initiator () =
+    ?backoff ?tuner ?(defense = default_policy) ?max_rounds ~d ~union ~initiator () =
   note_monitor monitor "repair:combine"
     (repair_span obs "repair:combine" (fun () ->
          let expected = Xheal_graph.Graph.nodes union in
@@ -255,12 +257,12 @@ let combine ~rng ?obs ?monitor ?(plan = Fault_plan.none) ?(schedule = Schedule.s
                ~suspect:(fun s collected -> echo_suspicious ~expected s collected)
                ~run:(fun dfn ->
                  Bfs_echo.run_robust ?obs ~plan:(phase_plan plan 3)
-                   ~schedule:(phase_sched schedule 3) ?backoff ~defense:dfn ?max_rounds
-                   ~graph:union ~root:initiator ())
+                   ~schedule:(phase_sched schedule 3) ?backoff ?tuner ~defense:dfn
+                   ?max_rounds ~graph:union ~root:initiator ())
                zero
          in
          let members = Option.value ~default:[ initiator ] collected in
-         build_phase ~rng ?obs ?backoff ~defense ~plan ~schedule ?max_rounds ~d
+         build_phase ~rng ?obs ?backoff ?tuner ~defense ~plan ~schedule ?max_rounds ~d
            ~leader:initiator ~members acc))
 
 let splice ?obs ~d () =

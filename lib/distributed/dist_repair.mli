@@ -57,6 +57,7 @@ val primary_build :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
@@ -66,11 +67,15 @@ val primary_build :
 (** Case 1: the deleted node's neighbours elect a leader (they know each
     other via NoN), which builds and distributes the new primary cloud.
 
-    [backoff] and [defense] apply to every hardened phase (they are
+    [backoff], [tuner] and [defense] apply to every hardened phase (they are
     ignored on the fault-free synchronous fast path, which runs the
     classic protocols): [backoff] replaces the fixed retry cadence,
     [defense] (default [Defense.Static Defense.none], bit-identical to
     the historical no-defense behaviour) chooses the defense policy.
+    [tuner] (default: none) plugs the self-tuning {!Loss_estimator}
+    into every hardened phase: one estimator instance threads through
+    all phases of the repair, so loss evidence gathered in the election
+    already paces the build and the echo.
     Under {!Defense.Adaptive} each phase runs relaxed first and is
     re-run escalated only when its outcome cross-validates as
     inconsistent (see {!Defense.policy}); both runs are charged and
@@ -83,6 +88,7 @@ val secondary_stitch :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
@@ -98,6 +104,7 @@ val combine :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->
@@ -116,6 +123,7 @@ val elect :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.policy ->
   ?max_rounds:int ->
   members:int list ->
@@ -135,6 +143,7 @@ val build :
   ?plan:Fault_plan.t ->
   ?schedule:Schedule.t ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.policy ->
   ?max_rounds:int ->
   d:int ->

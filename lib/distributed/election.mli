@@ -29,6 +29,7 @@ val install_robust :
   ?obs:Xheal_obs.Scope.t ->
   ?retry_every:int ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.t ->
   ?beliefs:(int, int) Hashtbl.t ->
   ?epoch_rounds:int ->
@@ -59,6 +60,12 @@ val install_robust :
     exponential policy thins retry traffic on lossy runs without
     touching protocol logic.
 
+    [tuner] (default: none) plugs in the self-tuning transport: pacing
+    comes from the {!Loss_estimator}'s currently selected policy
+    instead of [backoff], and the coordinator's ack/expired-retry
+    outcomes feed its per-node loss estimate online. The estimator
+    holds no RNG, so seeded runs still replay bit-for-bit.
+
     [defense] (default {!Defense.none}) toggles the Byzantine
     counter-measures: [rank_commit] excludes candidates caught
     announcing conflicting or out-of-domain ranks from the
@@ -84,6 +91,7 @@ val run_robust :
   ?schedule:Schedule.t ->
   ?retry_every:int ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?defense:Defense.t ->
   ?beliefs:(int, int) Hashtbl.t ->
   ?epoch_rounds:int ->

@@ -1,0 +1,71 @@
+type config = {
+  calm : Backoff.t;
+  stormy : Backoff.t;
+  alpha : float;
+  up : float;
+  down : float;
+}
+
+let config ?(alpha = 0.15) ?(up = 0.25) ?(down = 0.1) ~calm ~stormy () =
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Loss_estimator.config: alpha must be in (0,1]";
+  if not (up > 0. && up <= 1.) then
+    invalid_arg "Loss_estimator.config: up must be in (0,1]";
+  if not (down >= 0. && down < up) then
+    invalid_arg "Loss_estimator.config: down must be in [0,up)";
+  { calm; stormy; alpha; up; down }
+
+let default () =
+  config ~calm:(Backoff.fixed 3) ~stormy:(Backoff.decorrelated ~base:3 ~cap:12 ()) ()
+
+type node_state = { mutable est : float; mutable storm : bool }
+
+type t = {
+  cfg : config;
+  states : (int, node_state) Hashtbl.t;
+  mutable samples : int;
+  mutable escalations : int;
+}
+
+let create cfg = { cfg; states = Hashtbl.create 32; samples = 0; escalations = 0 }
+
+let state t node =
+  match Hashtbl.find_opt t.states node with
+  | Some s -> s
+  | None ->
+    let s = { est = 0.; storm = false } in
+    Hashtbl.replace t.states node s;
+    s
+
+let observe t ~node ~ok =
+  let s = state t node in
+  t.samples <- t.samples + 1;
+  s.est <- ((1. -. t.cfg.alpha) *. s.est) +. (if ok then 0. else t.cfg.alpha);
+  (* Hysteresis: escalate at [up], relax only at [down] — estimates
+     hovering at one threshold cannot oscillate the pacing. *)
+  if (not s.storm) && s.est >= t.cfg.up then begin
+    s.storm <- true;
+    t.escalations <- t.escalations + 1
+  end
+  else if s.storm && s.est <= t.cfg.down then s.storm <- false
+
+let estimate t ~node =
+  match Hashtbl.find_opt t.states node with Some s -> s.est | None -> 0.
+
+let link_estimate t ~node =
+  let e = Float.min 1. (Float.max 0. (estimate t ~node)) in
+  1. -. sqrt (1. -. e)
+
+let stormy t ~node =
+  match Hashtbl.find_opt t.states node with Some s -> s.storm | None -> false
+
+let interval t ~node ~attempt =
+  let policy = if stormy t ~node then t.cfg.stormy else t.cfg.calm in
+  Backoff.interval policy ~node ~attempt
+
+let max_interval t =
+  max (Backoff.max_interval t.cfg.calm) (Backoff.max_interval t.cfg.stormy)
+
+let samples t = t.samples
+
+let escalations t = t.escalations

@@ -1,0 +1,68 @@
+(** Self-tuning transport: an online per-node loss-rate estimator that
+    selects the {!Backoff} policy at runtime instead of fixing it at
+    startup.
+
+    Each node in a [_robust] protocol feeds the estimator its ack/retry
+    outcomes — an acknowledged send is a success sample, a retry window
+    that expired unacknowledged is a loss sample — and the estimator
+    maintains an EWMA loss estimate per node. Retry pacing then comes
+    from one of two policies: [calm] while the estimate is low, and the
+    escalation target [stormy] once it crosses the [up] threshold. The
+    switch has hysteresis — it only relaxes back to [calm] when the
+    estimate falls to [down < up] — so a node sitting at the boundary
+    cannot flap the pacing on every sample.
+
+    Determinism: the estimator holds no RNG and reads no clock; its
+    state is a pure fold over the observation sequence, so a seeded run
+    that consults it replays byte-identically. *)
+
+type config = {
+  calm : Backoff.t;  (** Pacing while the loss estimate is below [up]. *)
+  stormy : Backoff.t;  (** Escalated pacing (decorrelated jitter in E12/E17). *)
+  alpha : float;  (** EWMA weight of the newest sample, in (0, 1]. *)
+  up : float;  (** Escalate when the estimate reaches this, in (0, 1]. *)
+  down : float;  (** Relax when the estimate falls to this, in [0, up). *)
+}
+
+val config :
+  ?alpha:float -> ?up:float -> ?down:float -> calm:Backoff.t -> stormy:Backoff.t -> unit -> config
+(** Defaults: [alpha 0.15], [up 0.25], [down 0.1].
+    @raise Invalid_argument unless [0 < alpha <= 1] and
+    [0 <= down < up <= 1]. *)
+
+val default : unit -> config
+(** [Fixed 3] calm pacing escalating to seeded decorrelated jitter
+    ([base 3], [cap 12]) — the E12 exponential column's band. *)
+
+type t
+
+val create : config -> t
+
+val observe : t -> node:int -> ok:bool -> unit
+(** Fold one ack ([ok = true]) or expired-retry ([ok = false]) outcome
+    into [node]'s estimate, then apply the hysteresis switch. *)
+
+val estimate : t -> node:int -> float
+(** Current EWMA estimate of [node]'s {e round-trip} loss rate (a lost
+    request and a lost ack are indistinguishable); [0] before any
+    sample. *)
+
+val link_estimate : t -> node:int -> float
+(** The round-trip estimate folded down to a per-link loss rate under
+    the independent-loss model: [1 - sqrt (1 - estimate)] — comparable
+    to a {!Fault_plan.t}'s planted [drop] rate. *)
+
+val stormy : t -> node:int -> bool
+(** Whether [node]'s pacing is currently escalated. *)
+
+val interval : t -> node:int -> attempt:int -> int
+(** Retry interval under the node's currently selected policy. *)
+
+val max_interval : t -> int
+(** Max over both policies — quiescence grace windows must cover it. *)
+
+val samples : t -> int
+(** Total observations folded in, across all nodes. *)
+
+val escalations : t -> int
+(** Calm-to-stormy switches, across all nodes. *)

@@ -10,16 +10,20 @@ type t =
   | Ack
   | Confirm of { leader : int; reply : bool }
   | Vote of { claim : int; accept : bool }
+  | Beat
+  | Suspect of { target : int }
+  | Refute of { target : int }
 
 let size_words = function
   | Challenge _ -> 2
   | Victory { members; _ } -> 1 + List.length members
   | Explore _ -> 2
-  | Accept | Reject | Hello | Ack -> 1
+  | Accept | Reject | Hello | Ack | Beat -> 1
   | Subtree addrs -> max 1 (List.length addrs)
   | Edges es -> max 1 (2 * List.length es)
   | Confirm _ -> 2
   | Vote _ -> 2
+  | Suspect _ | Refute _ -> 2
 
 let kind = function
   | Challenge _ -> "challenge"
@@ -33,6 +37,9 @@ let kind = function
   | Ack -> "ack"
   | Confirm _ -> "confirm"
   | Vote _ -> "vote"
+  | Beat -> "beat"
+  | Suspect _ -> "suspect"
+  | Refute _ -> "refute"
 
 let pp ppf = function
   | Challenge { rank; candidate } -> Format.fprintf ppf "challenge(rank=%d, from=%d)" rank candidate
@@ -48,3 +55,6 @@ let pp ppf = function
       Format.fprintf ppf "confirm(%d, %s)" leader (if reply then "reply" else "query")
   | Vote { claim; accept } ->
       Format.fprintf ppf "vote(%d, %s)" claim (if accept then "yes" else "ask")
+  | Beat -> Format.fprintf ppf "beat"
+  | Suspect { target } -> Format.fprintf ppf "suspect(%d)" target
+  | Refute { target } -> Format.fprintf ppf "refute(%d)" target

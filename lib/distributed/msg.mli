@@ -28,6 +28,13 @@ type t =
       (** Subtree-quorum defense: [accept = false] asks the claimed
           member [claim] to confirm it really joined the sender's
           subtree; [accept = true] is the member's confirmation. *)
+  | Beat  (** Failure-detector heartbeat, one per period per neighbour. *)
+  | Suspect of { target : int }
+      (** Failure detector: the sender has timed [target] out and asks
+          its neighbours whether anyone holds fresher evidence. *)
+  | Refute of { target : int }
+      (** Failure detector: the sender heard from [target] recently —
+          the suspicion is a false alarm; abort it. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -178,6 +178,27 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     Event_queue.add q ~time ~seq:!seq env;
     decr seq
   in
+  (* Online adversary observation: a running avalanche digest of every
+     send entering the gauntlet plus per-link send shares, maintained
+     only when the plan or schedule is adaptive (zero state otherwise).
+     Both engines update it at the same point — gauntlet entry — so the
+     sync-conformance story extends to adaptive plans verbatim. *)
+  let adapt =
+    plan.Fault_plan.adaptive
+    || (match schedule with Schedule.Adaptive _ -> true | _ -> false)
+  in
+  let digest = ref 0 in
+  let obs_total = ref 0 in
+  let obs_count : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let observe ~src ~dst msg =
+    incr obs_total;
+    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt obs_count (src, dst)) in
+    Hashtbl.replace obs_count (src, dst) c;
+    digest := Schedule.observe !digest ~src ~dst ~words:(Msg.size_words msg);
+    (* "Hot": the link carries at least an eighth of all observed
+       traffic — the adaptive adversary's drop target. *)
+    8 * c >= !obs_total
+  in
   (* Per-directed-link send counter: the schedule's adversary keys its
      delay choice on (src, dst, k) so runs replay bit-for-bit. *)
   let link_seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -186,7 +207,7 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
     else begin
       let k = Option.value ~default:0 (Hashtbl.find_opt link_seq (src, dst)) in
       Hashtbl.replace link_seq (src, dst) (k + 1);
-      Schedule.delay schedule ~src ~dst ~k
+      Schedule.delay_observed schedule ~src ~dst ~k ~traffic:!digest
     end
   in
   let now = ref 0 in
@@ -235,12 +256,17 @@ let run ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0)
      initial sends, [!now] for in-run sends). *)
   let gauntlet_push ~base env =
     let dst = env.dst and msg = env.msg in
+    let hot = if adapt then observe ~src:env.src ~dst msg else false in
     if pure then push ~time:(base + sched_delay ~src:env.src ~dst) env
     else if Fault_plan.severed plan ~round:!now ~src:env.src ~dst then begin
       note_dropped ~now:!now t ~dst msg;
       active := true
     end
-    else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
+    else if
+      plan.Fault_plan.drop > 0.
+      && (let u = Random.State.float frng 1.0 in
+          if plan.Fault_plan.adaptive then Fault_plan.adaptive_drop plan ~u ~hot
+          else u < plan.Fault_plan.drop)
     then begin
       note_dropped ~now:!now t ~dst msg;
       active := true
@@ -437,13 +463,31 @@ let run_reference ?(max_rounds = 10_000) ?(plan = Fault_plan.none) ?(grace = 0) 
           t.words <- t.words + Msg.size_words msg' - Msg.size_words msg;
           Some msg')
   in
+  (* Adaptive observation, byte-for-byte the event engine's: same
+     update point (gauntlet entry), same digest chaining, same hot
+     rule — the conformance property extends to adaptive plans. *)
+  let digest = ref 0 in
+  let obs_total = ref 0 in
+  let obs_count : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let observe ~src ~dst msg =
+    incr obs_total;
+    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt obs_count (src, dst)) in
+    Hashtbl.replace obs_count (src, dst) c;
+    digest := Schedule.observe !digest ~src ~dst ~words:(Msg.size_words msg);
+    8 * c >= !obs_total
+  in
   let faulted ~src ~dst msg =
+    let hot = if plan.Fault_plan.adaptive then observe ~src ~dst msg else false in
     if Fault_plan.severed plan ~round:!round ~src ~dst then begin
       note_dropped ~now:!round t ~dst msg;
       active := true;
       []
     end
-    else if plan.Fault_plan.drop > 0. && Random.State.float frng 1.0 < plan.Fault_plan.drop
+    else if
+      plan.Fault_plan.drop > 0.
+      && (let u = Random.State.float frng 1.0 in
+          if plan.Fault_plan.adaptive then Fault_plan.adaptive_drop plan ~u ~hot
+          else u < plan.Fault_plan.drop)
     then begin
       note_dropped ~now:!round t ~dst msg;
       active := true;

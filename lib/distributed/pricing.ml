@@ -20,8 +20,20 @@ let measured_of (s : Dist_repair.stats) =
 let phase_view ~phase plan schedule =
   (Fault_plan.reseed plan phase, Schedule.reseed schedule phase)
 
-let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?(max_rounds = 10_000)
-    ?(seed = 0) ~d () =
+let measured_of_net (s : Netsim.stats) =
+  {
+    Cost.m_rounds = s.Netsim.rounds;
+    m_messages = s.Netsim.messages;
+    m_converged = s.Netsim.converged;
+    m_dropped = s.Netsim.dropped;
+    m_duplicated = s.Netsim.duplicated;
+    m_delayed = s.Netsim.delayed;
+    m_tampered = s.Netsim.tampered;
+    m_escalations = 0;
+  }
+
+let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?tuner
+    ?(max_rounds = 10_000) ?(seed = 0) ~d () =
   (* The backend's private RNG: protocol-internal draws (election ranks,
      H-graph samples) never touch the engine's RNG, so the healed graph
      is identical under any plan. *)
@@ -33,7 +45,7 @@ let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?(max_rounds 
       let plan, schedule = phase_view ~phase plan schedule in
       let members = List.sort_uniq Int.compare members in
       let s, leader =
-        Dist_repair.elect ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~members
+        Dist_repair.elect ~rng ?obs ~plan ~schedule ?backoff ?tuner ~defense ~max_rounds ~members
           ()
       in
       (measured_of s, leader)
@@ -45,7 +57,7 @@ let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?(max_rounds 
       let members = List.sort_uniq Int.compare members in
       let leader = if List.mem leader members then leader else List.hd members in
       let s =
-        Dist_repair.build ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~d
+        Dist_repair.build ~rng ?obs ~plan ~schedule ?backoff ?tuner ~defense ~max_rounds ~d
           ~leader ~members ()
       in
       measured_of s
@@ -58,9 +70,25 @@ let backend ?obs ?(defense = Defense.Static Defense.none) ?backoff ?(max_rounds 
     | [] | [ _ ] -> Cost.zero_measured
     | initiator :: _ ->
       let s =
-        Dist_repair.combine ~rng ?obs ~plan ~schedule ?backoff ~defense ~max_rounds ~d
+        Dist_repair.combine ~rng ?obs ~plan ~schedule ?backoff ?tuner ~defense ~max_rounds ~d
           ~union ~initiator ()
       in
       measured_of s
   in
-  { Cost.run_elect; run_build; run_combine }
+  let run_detect ~plan ~schedule ~phase ~victim ~peers ~config =
+    match List.filter (fun v -> v <> victim) (List.sort_uniq Int.compare peers) with
+    | [] ->
+      (* An isolated victim has no monitors: nothing can be detected,
+         and nothing is charged. *)
+      (Cost.zero_measured, Xheal_fault.Detect.no_outcome)
+    | others ->
+      let plan, schedule = phase_view ~phase plan schedule in
+      let group = victim :: others in
+      let clique = List.map (fun u -> (u, List.filter (fun v -> v <> u) group)) group in
+      let s, outcome =
+        Failure_detector.run ?obs ~plan ~schedule ~max_rounds ~config ~victim
+          ~crash_at:config.Xheal_fault.Detect.period ~peers:clique ()
+      in
+      (measured_of_net s, outcome)
+  in
+  { Cost.run_elect; run_build; run_combine; run_detect }

@@ -20,6 +20,7 @@ val backend :
   ?obs:Xheal_obs.Scope.t ->
   ?defense:Defense.policy ->
   ?backoff:Backoff.t ->
+  ?tuner:Loss_estimator.t ->
   ?max_rounds:int ->
   ?seed:int ->
   d:int ->
@@ -37,4 +38,17 @@ val backend :
 
     [defense = Defense.adaptive ()] gives the escalate-on-inconsistency
     behaviour E15 prices: fault-free phases run undefended and only
-    loud phases are re-run hardened. *)
+    loud phases are re-run hardened.
+
+    [tuner] plugs one self-tuning {!Loss_estimator} into every hardened
+    protocol phase the backend runs, so per-node retry pacing adapts
+    online to the loss each node actually observes across the whole
+    repair sequence.
+
+    The backend's [run_detect] closure prices the detection phase of a
+    detector-triggered deletion: it runs {!Failure_detector.run} on the
+    NoN clique over [victim :: peers] under the phase-reseeded plan and
+    schedule, with the victim crashing at the config's beat period, and
+    returns the simulator bill alongside the detection outcome. An
+    isolated victim (no peers) costs nothing and reports
+    {!Xheal_fault.Detect.no_outcome}. *)

@@ -15,6 +15,7 @@ let all =
     E13_async.exp;
     E14_byzantine.exp;
     E15_repricing.exp;
+    E17_detector.exp;
     A1_secondary.exp;
     A2_rebuild.exp;
     A3_batch.exp;

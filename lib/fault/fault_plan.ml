@@ -15,6 +15,7 @@ type t = {
   crashes : (int * int) list;
   partitions : partition list;
   byzantine : (int * behaviour) list;
+  adaptive : bool;
 }
 
 let none =
@@ -27,27 +28,46 @@ let none =
     crashes = [];
     partitions = [];
     byzantine = [];
+    adaptive = false;
   }
 
 let check_prob name p =
+  (* NaN fails both comparisons, so negative, > 1 and NaN rates all land
+     here rather than silently skewing the gauntlet's thresholds. *)
   if not (p >= 0. && p <= 1.) then
     invalid_arg (Printf.sprintf "Fault_plan.make: %s must be in [0,1]" name)
 
 let make ?(seed = 0) ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.) ?(max_delay = 1)
-    ?(crashes = []) ?(partitions = []) ?(byzantine = []) () =
+    ?(crashes = []) ?(partitions = []) ?(byzantine = []) ?(adaptive = false) () =
   check_prob "drop" drop;
   check_prob "duplicate" duplicate;
   check_prob "delay" delay;
   if max_delay < 1 then invalid_arg "Fault_plan.make: max_delay must be >= 1";
+  List.iter
+    (fun (node, round) ->
+      if round < 0 then
+        invalid_arg (Printf.sprintf "Fault_plan.make: crash round for node %d is negative" node))
+    crashes;
   let ids = List.map fst byzantine in
   let sorted = List.sort_uniq Int.compare ids in
   if List.length sorted <> List.length ids then
     invalid_arg "Fault_plan.make: duplicate node in byzantine schedule";
-  { seed; drop; duplicate; delay; max_delay; crashes; partitions; byzantine }
+  { seed; drop; duplicate; delay; max_delay; crashes; partitions; byzantine; adaptive }
 
 let is_none t =
   t.drop = 0. && t.duplicate = 0. && t.delay = 0. && t.crashes = []
   && t.partitions = [] && t.byzantine = []
+
+(* The adaptive adversary's drop targeting: the same uniform variate [u]
+   the gauntlet would have spent on a blind drop decision (so adaptivity
+   costs zero extra RNG draws), but compared against a threshold biased
+   by the observed traffic — links carrying an outsized share of the
+   run's sends are attacked at 1.5x the configured rate, quiet links at
+   half of it. The aggregate rate stays in [0, 1] and a plan with
+   [drop = 0] still never drops. *)
+let adaptive_drop t ~u ~hot =
+  let rate = if hot then Float.min 1. (1.5 *. t.drop) else 0.5 *. t.drop in
+  u < rate
 
 let reseed t k = { t with seed = t.seed + (k * 1_000_003) }
 
@@ -66,7 +86,9 @@ let pp ppf t =
   if is_none t then Format.fprintf ppf "fault-plan(none)"
   else
     Format.fprintf ppf
-      "fault-plan(seed=%d, drop=%.2f, dup=%.2f, delay=%.2f/%d, crashes=%d, partitions=%d, byzantine=%d)"
-      t.seed t.drop t.duplicate t.delay t.max_delay (List.length t.crashes)
+      "fault-plan(seed=%d, drop=%.2f%s, dup=%.2f, delay=%.2f/%d, crashes=%d, partitions=%d, byzantine=%d)"
+      t.seed t.drop
+      (if t.adaptive then " adaptive" else "")
+      t.duplicate t.delay t.max_delay (List.length t.crashes)
       (List.length t.partitions)
       (List.length t.byzantine)

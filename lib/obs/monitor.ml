@@ -23,9 +23,11 @@ module Graph = Xheal_graph.Graph
 module Traversal = Xheal_graph.Traversal
 module Cuts = Xheal_graph.Cuts
 
-type guarantee = Degree | Expansion | Conductance | Connectivity | Stretch | Convergence
+type guarantee =
+  | Degree | Expansion | Conductance | Connectivity | Stretch | Convergence | Detection
 
-let all_guarantees = [ Degree; Expansion; Conductance; Connectivity; Stretch; Convergence ]
+let all_guarantees =
+  [ Degree; Expansion; Conductance; Connectivity; Stretch; Convergence; Detection ]
 
 let guarantee_to_string = function
   | Degree -> "degree"
@@ -34,6 +36,7 @@ let guarantee_to_string = function
   | Connectivity -> "connectivity"
   | Stretch -> "stretch"
   | Convergence -> "convergence"
+  | Detection -> "detection"
 
 let gindex = function
   | Degree -> 0
@@ -42,6 +45,7 @@ let gindex = function
   | Connectivity -> 3
   | Stretch -> 4
   | Convergence -> 5
+  | Detection -> 6
 
 type config = {
   kappa : int;
@@ -385,6 +389,17 @@ let note_phase t ~phase ~rounds ~messages ~converged =
     violate t ~guarantee:Convergence ~seq:t.phase_seq ~time:rounds ~node:(-1) ~bound:0.0
       ~measured:(float_of_int messages)
       (Printf.sprintf "phase %s did not quiesce after %d rounds" phase rounds)
+
+(* Detection-latency guarantee: the failure detector promised to
+   confirm a real crash within [Detect.latency_bound]; the engine
+   reports each detector-triggered deletion here. A latency past the
+   bound (or a miss, latency < 0 with bound >= 0) is a breach. *)
+let note_detection t ~seq ~time ~victim ~latency ~bound =
+  sample t ~guarantee:Detection ~seq ~time (float_of_int latency);
+  if latency > bound || latency < 0 then
+    violate t ~guarantee:Detection ~seq ~time ~node:victim ~bound:(float_of_int bound)
+      ~measured:(float_of_int latency)
+      (Printf.sprintf "detection latency %d vs bound %d for victim %d" latency bound victim)
 
 (* ------------------------------------------------------------------ *)
 (* Export.                                                             *)

@@ -19,7 +19,10 @@
     - {b stretch}: sampled surviving pairs, healed distance vs [G']
       distance, against [stretch_factor * log2 n] (T2.3);
     - {b convergence}: protocol phases reported through {!note_phase}
-      that failed to quiesce.
+      that failed to quiesce;
+    - {b detection}: detector-triggered deletions reported through
+      {!note_detection} whose detection latency exceeded (or missed)
+      the {!Xheal_fault.Detect.latency_bound} promise.
 
     Passivity: the monitor owns a private RNG seeded from its config and
     only ever reads the healed graph — engine behaviour with
@@ -30,7 +33,8 @@
 
 type t
 
-type guarantee = Degree | Expansion | Conductance | Connectivity | Stretch | Convergence
+type guarantee =
+  | Degree | Expansion | Conductance | Connectivity | Stretch | Convergence | Detection
 
 val guarantee_to_string : guarantee -> string
 
@@ -80,6 +84,12 @@ val note_phase : t -> phase:string -> rounds:int -> messages:int -> converged:bo
 (** Record one protocol phase; a non-converged phase emits a
     {!Convergence} violation (seq is a monitor-local phase counter,
     time the phase's own round count). *)
+
+val note_detection :
+  t -> seq:int -> time:int -> victim:int -> latency:int -> bound:int -> unit
+(** Record one detector-triggered deletion: always samples the latency,
+    and emits a {!Detection} violation when [latency > bound] or the
+    crash went undetected ([latency < 0]). *)
 
 (** {1 Results} *)
 

@@ -39,16 +39,19 @@ let representatives : Msg.t list =
     Confirm { leader = 2; reply = true };
     Vote { claim = 5; accept = false };
     Vote { claim = 5; accept = true };
+    Beat;
+    Suspect { target = 6 };
+    Refute { target = 6 };
   ]
 
 let _covers_every_constructor : Msg.t -> unit = function
   | Challenge _ | Victory _ | Explore _ | Accept | Reject | Subtree _ | Edges _ | Hello
-  | Ack | Confirm _ | Vote _ ->
+  | Ack | Confirm _ | Vote _ | Beat | Suspect _ | Refute _ ->
     ()
 
 let test_msg_vocabulary () =
   let kinds = List.sort_uniq String.compare (List.map Msg.kind representatives) in
-  Alcotest.(check int) "eleven distinct kinds" 11 (List.length kinds);
+  Alcotest.(check int) "fourteen distinct kinds" 14 (List.length kinds);
   List.iter
     (fun m ->
       let k = Msg.kind m in

@@ -16,6 +16,9 @@ module Schedule = Xheal_distributed.Schedule
 module Election = Xheal_distributed.Election
 module Bfs_echo = Xheal_distributed.Bfs_echo
 module Dist = Xheal_distributed.Dist_repair
+module Failure_detector = Xheal_distributed.Failure_detector
+module Loss_estimator = Xheal_distributed.Loss_estimator
+module Detect = Xheal_fault.Detect
 
 let rng seed = Random.State.make [| seed |]
 
@@ -87,6 +90,79 @@ let test_repair_stats () =
   Alcotest.(check bool) "repair stats identical" true (a = b);
   Alcotest.(check bool) "repair converged" true a.Dist.converged
 
+(* The detection loop under the online adversary: an adaptive fault
+   plan and an adaptive schedule both derive their choices from the
+   traffic they observe, and the failure detector is message-driven —
+   three sources of feedback, zero sources of nondeterminism. The same
+   seeds must replay the whole detection byte for byte. *)
+let test_detector_adaptive_replay () =
+  let plan =
+    Fault_plan.make ~seed:77 ~drop:0.12 ~delay:0.2 ~max_delay:3 ~adaptive:true ()
+  in
+  let schedule = Schedule.adaptive ~seed:904 ~fairness:4 in
+  let group = [ 0; 1; 2; 3; 4; 5 ] in
+  let clique = List.map (fun u -> (u, List.filter (fun v -> v <> u) group)) group in
+  let run () =
+    Failure_detector.run ~plan ~schedule ~config:(Detect.make ~seed:5 ()) ~victim:0
+      ~crash_at:9 ~peers:clique ()
+  in
+  let s1, o1 = run () in
+  let s2, o2 = run () in
+  Alcotest.check stats "detector stats replay" s1 s2;
+  Alcotest.(check bool) "detector outcome replays" true (o1 = o2);
+  Alcotest.(check bool) "crash detected under the adaptive adversary" true
+    o1.Detect.detected
+
+(* The self-tuning transport holds no RNG: two fresh estimators fed by
+   identical seeded repairs end in identical states, and the repairs
+   they paced are themselves identical. *)
+let test_tuner_replay () =
+  let run () =
+    let tuner = Loss_estimator.create (Loss_estimator.default ()) in
+    let s =
+      Dist.primary_build ~rng:(rng 11) ~plan:(plan ()) ~schedule:(schedule ()) ~tuner
+        ~max_rounds:4_000 ~d:2 ~neighbors:(List.init 20 Fun.id) ()
+    in
+    ( s,
+      Loss_estimator.samples tuner,
+      Loss_estimator.escalations tuner,
+      Loss_estimator.estimate tuner ~node:0 )
+  in
+  let ((s1, n1, _, _) as a) = run () in
+  let b = run () in
+  Alcotest.(check bool) "tuner-paced repair replays byte-identically" true (a = b);
+  Alcotest.(check bool) "repair converged" true s1.Dist.converged;
+  Alcotest.(check bool) "tuner actually fed" true (n1 > 0)
+
+(* End to end: detector trigger + adaptive adversary through the whole
+   engine, twice from the same seeds — same healed graph, same bill. *)
+let test_detector_engine_replay () =
+  let d = Xheal_core.Config.default.Xheal_core.Config.d in
+  let run () =
+    let g0 = Gen.random_regular ~rng:(rng 41) 20 4 in
+    let plan = Fault_plan.make ~seed:42 ~drop:0.08 ~adaptive:true () in
+    let schedule = Schedule.adaptive ~seed:43 ~fairness:2 in
+    let backend = Xheal_distributed.Pricing.backend ~seed:44 ~d () in
+    let eng = Xheal_core.Xheal.create ~plan ~schedule ~backend ~rng:(rng 45) g0 in
+    let atk = rng 46 in
+    for _ = 1 to 4 do
+      let nodes = Graph.nodes (Xheal_core.Xheal.graph eng) in
+      let v = List.nth nodes (Random.State.int atk (List.length nodes)) in
+      Xheal_core.Xheal.delete
+        ~trigger:(Xheal_core.Xheal.Detector (Detect.make ~seed:3 ()))
+        eng v
+    done;
+    let g = Xheal_core.Xheal.graph eng in
+    ( List.sort Int.compare (Graph.nodes g),
+      List.sort Xheal_graph.Edge.compare (Graph.edges g),
+      Xheal_core.Xheal.totals eng )
+  in
+  let n1, e1, t1 = run () in
+  let n2, e2, t2 = run () in
+  Alcotest.(check bool) "healed graphs identical" true (n1 = n2 && e1 = e2);
+  Alcotest.(check bool) "cost totals identical" true (t1 = t2);
+  Alcotest.(check int) "all four deletions landed" 4 t1.Xheal_core.Cost.deletions
+
 (* Representation independence: the full engine + protocol-replay
    pipeline re-run from the same seeds, but with the seed graph held on
    the OTHER backend, must delete the same victims, heal to the same
@@ -148,5 +224,11 @@ let suite =
           test_repair_stats;
         Alcotest.test_case "pipeline is backend-independent (hash vs CSR)" `Quick
           test_backend_independence;
+        Alcotest.test_case "detection replays under the adaptive adversary" `Quick
+          test_detector_adaptive_replay;
+        Alcotest.test_case "tuner-paced repair replays byte-identically" `Quick
+          test_tuner_replay;
+        Alcotest.test_case "detector-triggered engine replays byte-identically" `Quick
+          test_detector_engine_replay;
       ] );
   ]

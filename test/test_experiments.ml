@@ -2,14 +2,14 @@ module Registry = Xheal_experiments.Registry
 module Exp = Xheal_experiments.Exp
 
 let test_registry_complete () =
-  Alcotest.(check int) "eighteen experiments" 18 (List.length Registry.all);
+  Alcotest.(check int) "nineteen experiments" 19 (List.length Registry.all);
   List.iter
     (fun id ->
       match Registry.find id with
       | Some e -> Alcotest.(check string) "id roundtrip" id e.Exp.id
       | None -> Alcotest.failf "experiment %s missing" id)
     [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13"; "E14";
-      "E15"; "A1"; "A2"; "A3" ];
+      "E15"; "E17"; "A1"; "A2"; "A3" ];
   Alcotest.(check bool) "case-insensitive" true (Registry.find "e3" <> None);
   Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
 

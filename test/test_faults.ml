@@ -14,6 +14,8 @@ module Bfs_echo = Xheal_distributed.Bfs_echo
 module Cloud_build = Xheal_distributed.Cloud_build
 module Dist = Xheal_distributed.Dist_repair
 module Replay = Xheal_distributed.Replay
+module Backoff = Xheal_distributed.Backoff
+module Loss_estimator = Xheal_distributed.Loss_estimator
 module Op = Xheal_core.Op
 
 let rng seed = Random.State.make [| seed |]
@@ -32,6 +34,15 @@ let test_plan_validation () =
   Alcotest.check_raises "max_delay >= 1"
     (Invalid_argument "Fault_plan.make: max_delay must be >= 1") (fun () ->
       ignore (Fault_plan.make ~max_delay:0 ()));
+  Alcotest.check_raises "NaN rate rejected"
+    (Invalid_argument "Fault_plan.make: drop must be in [0,1]") (fun () ->
+      ignore (Fault_plan.make ~drop:Float.nan ()));
+  Alcotest.check_raises "negative rate rejected"
+    (Invalid_argument "Fault_plan.make: duplicate must be in [0,1]") (fun () ->
+      ignore (Fault_plan.make ~duplicate:(-0.1) ()));
+  Alcotest.check_raises "negative crash round rejected"
+    (Invalid_argument "Fault_plan.make: crash round for node 3 is negative") (fun () ->
+      ignore (Fault_plan.make ~crashes:[ (3, -1) ] ()));
   let p = Fault_plan.make ~drop:0.2 ~crashes:[ (3, 5) ] ()
   in
   Alcotest.(check (option int)) "crash schedule" (Some 5) (Fault_plan.crash_round p 3);
@@ -296,6 +307,130 @@ let test_replay_surfaces_convergence () =
   in
   Alcotest.(check bool) "failure survives aggregation" false agg.Dist.converged
 
+(* ---------- Adaptive adversary ---------- *)
+
+let test_adaptive_schedule_semantics () =
+  let s = Schedule.adaptive ~seed:31 ~fairness:4 in
+  Alcotest.(check int) "fairness accessor" 4 (Schedule.fairness s);
+  Alcotest.(check bool) "not the synchronous schedule" false (Schedule.is_sync s);
+  let traffic = Schedule.observe 0 ~src:1 ~dst:2 ~words:3 in
+  let traffic = Schedule.observe traffic ~src:2 ~dst:1 ~words:1 in
+  let differs = ref false in
+  for k = 0 to 24 do
+    let d1 = Schedule.delay_observed s ~src:1 ~dst:2 ~k ~traffic in
+    Alcotest.(check int) "delay is deterministic" d1
+      (Schedule.delay_observed s ~src:1 ~dst:2 ~k ~traffic);
+    Alcotest.(check bool) "fairness F respected" true (d1 >= 1 && d1 <= 4);
+    if d1 <> Schedule.delay_observed s ~src:1 ~dst:2 ~k ~traffic:(traffic + 1) then
+      differs := true
+  done;
+  Alcotest.(check bool) "the adversary reacts to observed traffic" true !differs
+
+let test_adaptive_adversary_replays_and_converges () =
+  (* Online dropping/scheduling is still a pure function of the seed and
+     the traffic it has seen: a robust protocol under the adaptive
+     adversary replays byte-identically and still converges. *)
+  let plan = Fault_plan.make ~seed:13 ~drop:0.1 ~adaptive:true () in
+  let schedule = Schedule.adaptive ~seed:14 ~fairness:3 in
+  let run () = Election.run_robust ~rng:(rng 15) ~plan ~schedule ~max_rounds:600 parts in
+  let s1, l1 = run () in
+  let s2, l2 = run () in
+  Alcotest.(check bool) "replays byte-identically" true (s1 = s2 && l1 = l2);
+  Alcotest.(check bool) "converged" true s1.Netsim.converged;
+  match l1 with
+  | Some l -> Alcotest.(check bool) "valid leader" true (List.mem l parts)
+  | None -> Alcotest.fail "no leader"
+
+(* ---------- Self-tuning transport ---------- *)
+
+let test_backoff_decorrelated () =
+  let t = Backoff.decorrelated ~base:2 ~cap:10 () in
+  Alcotest.(check int) "cap is the envelope" 10 (Backoff.max_interval t);
+  let distinct = Hashtbl.create 8 in
+  for node = 0 to 3 do
+    for attempt = 0 to 11 do
+      let i = Backoff.interval t ~node ~attempt in
+      Alcotest.(check bool) "within [base, cap]" true (i >= 2 && i <= 10);
+      Alcotest.(check int) "pure function of (node, attempt)" i
+        (Backoff.interval t ~node ~attempt);
+      Hashtbl.replace distinct i ()
+    done
+  done;
+  Alcotest.(check bool) "jitter actually varies" true (Hashtbl.length distinct > 3);
+  Alcotest.check_raises "base >= 1"
+    (Invalid_argument "Backoff.decorrelated: base must be >= 1") (fun () ->
+      ignore (Backoff.decorrelated ~base:0 ~cap:5 ()));
+  Alcotest.check_raises "cap >= base"
+    (Invalid_argument "Backoff.decorrelated: cap must be >= base") (fun () ->
+      ignore (Backoff.decorrelated ~base:6 ~cap:5 ()))
+
+let test_loss_estimator_convergence () =
+  let t = Loss_estimator.create (Loss_estimator.default ()) in
+  (* One loss in five: the EWMA must settle in a band around 0.2. *)
+  for i = 1 to 400 do
+    Loss_estimator.observe t ~node:1 ~ok:(i mod 5 <> 0)
+  done;
+  let est = Loss_estimator.estimate t ~node:1 in
+  Alcotest.(check bool) "estimate tracks the planted 20% loss" true
+    (est > 0.12 && est < 0.32);
+  Alcotest.(check (float 1e-9)) "link estimate folds the round trip"
+    (1. -. sqrt (1. -. est))
+    (Loss_estimator.link_estimate t ~node:1);
+  Alcotest.(check int) "samples counted" 400 (Loss_estimator.samples t);
+  Alcotest.(check (float 0.)) "untouched node estimates zero" 0.
+    (Loss_estimator.estimate t ~node:2)
+
+let test_loss_estimator_hysteresis () =
+  let cfg =
+    Loss_estimator.config ~alpha:0.5 ~up:0.4 ~down:0.1 ~calm:(Backoff.fixed 1)
+      ~stormy:(Backoff.fixed 7) ()
+  in
+  let t = Loss_estimator.create cfg in
+  Alcotest.(check bool) "starts calm" false (Loss_estimator.stormy t ~node:0);
+  Alcotest.(check int) "calm pacing" 1 (Loss_estimator.interval t ~node:0 ~attempt:2);
+  (* One loss lifts the estimate to 0.5 >= up: escalate. *)
+  Loss_estimator.observe t ~node:0 ~ok:false;
+  Alcotest.(check bool) "escalated" true (Loss_estimator.stormy t ~node:0);
+  Alcotest.(check int) "stormy pacing" 7 (Loss_estimator.interval t ~node:0 ~attempt:2);
+  Alcotest.(check int) "one escalation" 1 (Loss_estimator.escalations t);
+  (* Successes decay the estimate through (down, up): 0.25, then 0.125 —
+     hysteresis holds the escalated policy, no flapping. *)
+  Loss_estimator.observe t ~node:0 ~ok:true;
+  Alcotest.(check bool) "still stormy between down and up" true
+    (Loss_estimator.stormy t ~node:0);
+  Loss_estimator.observe t ~node:0 ~ok:true;
+  Alcotest.(check bool) "still stormy just above down" true
+    (Loss_estimator.stormy t ~node:0);
+  (* 0.0625 <= down: relax, with no second escalation counted. *)
+  Loss_estimator.observe t ~node:0 ~ok:true;
+  Alcotest.(check bool) "relaxed below down" false (Loss_estimator.stormy t ~node:0);
+  Alcotest.(check int) "no flap" 1 (Loss_estimator.escalations t);
+  Alcotest.(check int) "grace window covers both policies" 7
+    (Loss_estimator.max_interval t);
+  Alcotest.check_raises "alpha in (0,1]"
+    (Invalid_argument "Loss_estimator.config: alpha must be in (0,1]") (fun () ->
+      ignore
+        (Loss_estimator.config ~alpha:0. ~calm:(Backoff.fixed 1)
+           ~stormy:(Backoff.fixed 2) ()));
+  Alcotest.check_raises "down below up"
+    (Invalid_argument "Loss_estimator.config: down must be in [0,up)") (fun () ->
+      ignore
+        (Loss_estimator.config ~up:0.2 ~down:0.2 ~calm:(Backoff.fixed 1)
+           ~stormy:(Backoff.fixed 2) ()))
+
+let test_tuner_threaded_repair () =
+  (* The estimator plugged into a whole hardened repair: it gets fed,
+     and the repair still converges under real loss. *)
+  let tuner = Loss_estimator.create (Loss_estimator.default ()) in
+  let plan = Fault_plan.make ~seed:6 ~drop:0.2 () in
+  let s =
+    Dist.primary_build ~rng:(rng 7) ~plan ~tuner ~max_rounds:800 ~d:2
+      ~neighbors:(List.init 16 Fun.id) ()
+  in
+  Alcotest.(check bool) "converged" true s.Dist.converged;
+  Alcotest.(check bool) "tuner observed ack/retry outcomes" true
+    (Loss_estimator.samples tuner > 0)
+
 (* ---------- Properties ---------- *)
 
 (* The no-silent-failure contract: under any loss rate, a robust run
@@ -357,6 +492,24 @@ let suite =
         Alcotest.test_case "bfs crash never fabricates success" `Quick
           test_robust_bfs_crash_never_lies;
         Alcotest.test_case "cloud build under drop" `Quick test_robust_cloud_build_under_drop;
+      ] );
+    ( "adaptive-adversary",
+      [
+        Alcotest.test_case "adaptive schedule is fair and traffic-driven" `Quick
+          test_adaptive_schedule_semantics;
+        Alcotest.test_case "adaptive adversary replays and converges" `Quick
+          test_adaptive_adversary_replays_and_converges;
+      ] );
+    ( "self-tuning",
+      [
+        Alcotest.test_case "decorrelated jitter stays in its envelope" `Quick
+          test_backoff_decorrelated;
+        Alcotest.test_case "loss estimator converges to the planted rate" `Quick
+          test_loss_estimator_convergence;
+        Alcotest.test_case "hysteresis escalates once and never flaps" `Quick
+          test_loss_estimator_hysteresis;
+        Alcotest.test_case "tuner threads through a hardened repair" `Quick
+          test_tuner_threaded_repair;
       ] );
     ( "fault-threading",
       [
